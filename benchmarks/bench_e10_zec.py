@@ -1,0 +1,92 @@
+"""E10 — the ZEC game (Lemma 6.2) and parallel repetition (Prop. 6.3).
+
+Three measurements:
+
+1. best-response optimization over the ``6²¹ × 6²¹`` strategy space —
+   the best pair found wins strictly less than always, and never exceeds
+   the Lemma 6.2 bound ``11024/11025``;
+2. exact product-strategy decay over ``n`` independent instances —
+   ``2^{−Ω(n)}`` as Theorem 4 needs;
+3. the ZEC-NEW variant's union bound (Section 6.4).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis import print_table
+from repro.lowerbound import (
+    LEMMA_62_BOUND,
+    exact_win_probability,
+    holenstein_bound,
+    lemma_62_dichotomy,
+    optimize_strategies,
+    product_success_exact,
+    random_strategy,
+    zec_new_bound,
+    zec_new_win_probability,
+)
+
+COPIES = (1, 10, 50, 100, 500)
+
+
+def test_e10_zec_game_value_and_repetition(benchmark):
+    rng = random.Random(10)
+    alice, bob, best = optimize_strategies(rng, restarts=8, iterations=20)
+    rand_a, rand_b = random_strategy(rng), random_strategy(rng)
+    rand_value = exact_win_probability(rand_a, rand_b)
+
+    print_table(
+        ["strategy pair", "win probability", "×441", "Lemma 6.2 case"],
+        [
+            ["random", round(rand_value, 6), round(rand_value * 441, 1),
+             lemma_62_dichotomy(rand_a, rand_b)],
+            ["best-response optimized", round(best, 6), round(best * 441, 1),
+             lemma_62_dichotomy(alice, bob)],
+            ["Lemma 6.2 upper bound", round(LEMMA_62_BOUND, 6),
+             round(LEMMA_62_BOUND * 441, 1), "-"],
+        ],
+        title="E10a  ZEC single-game values (exact, 21×21 enumeration)",
+    )
+    assert rand_value <= best <= LEMMA_62_BOUND
+    assert best < 1.0
+
+    rows = []
+    for n in COPIES:
+        exact = product_success_exact(alice, bob, n)
+        rows.append(
+            [
+                n,
+                f"{exact:.3e}",
+                round(math.log2(exact), 2),
+                f"{holenstein_bound(best, n):.6f}",
+            ]
+        )
+    print_table(
+        ["copies n", "product success", "log2", "Prop. 6.3 bound"],
+        rows,
+        title="E10b  parallel repetition: product-strategy success decays 2^{−Ω(n)}",
+    )
+    # Exponential decay: log-success is linear in n with negative slope.
+    logs = [math.log(product_success_exact(alice, bob, n)) for n in COPIES]
+    slopes = [
+        (logs[i + 1] - logs[i]) / (COPIES[i + 1] - COPIES[i])
+        for i in range(len(COPIES) - 1)
+    ]
+    assert all(s < 0 for s in slopes)
+    assert max(slopes) - min(slopes) < 1e-9  # exactly geometric
+
+    new_bound = zec_new_bound(LEMMA_62_BOUND)
+    new_value = zec_new_win_probability(alice, bob)
+    print_table(
+        ["quantity", "value"],
+        [
+            ["ZEC-NEW best-found win probability", round(new_value, 8)],
+            ["ZEC-NEW paper bound 33074/33075", round(new_bound, 8)],
+        ],
+        title="E10c  ZEC-NEW (Section 6.4)",
+    )
+    assert new_value <= new_bound
+
+    benchmark(lambda: exact_win_probability(alice, bob))

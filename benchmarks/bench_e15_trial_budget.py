@@ -1,0 +1,63 @@
+"""E15 — ablation: Random-Color-Trial iteration budget vs the D1LC fallback.
+
+Theorem 1 splits work between Algorithm 1 (cheap, parallel) and the D1LC
+leftover phase (polylog-factor more expensive per vertex).  The paper's
+budget ``⌈1 + 4·log_{24/23} log n⌉`` is deliberately generous so the
+leftover is ``O(n/log⁴n)``.  This sweep shows the full trade-off curve:
+tiny budgets push work into D1LC and inflate total bits; a handful of
+iterations already collapses the leftover; the paper's budget (with the
+free early-stop) is on the flat part of the curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import print_table
+from repro.core import paper_iteration_count, run_vertex_coloring
+from repro.graphs import assert_proper_vertex_coloring
+
+from .conftest import regular_workload
+
+N = 512
+DEGREE = 8
+CAPS = (0, 1, 2, 4, 8, None)  # None = the paper's budget
+
+
+def test_e15_trial_budget_tradeoff(benchmark):
+    rows = []
+    totals = {}
+    for cap in CAPS:
+        part = regular_workload(N, DEGREE, seed=15)
+        res = run_vertex_coloring(part, seed=15, max_trial_iterations=cap)
+        assert_proper_vertex_coloring(part.graph, res.colors, DEGREE + 1)
+        label = "paper" if cap is None else cap
+        trial = res.transcript.phase_stats("random_color_trial")
+        leftover_phase = res.transcript.phase_stats("d1lc_leftover")
+        rows.append(
+            [
+                label,
+                res.leftover_size,
+                trial.total_bits,
+                leftover_phase.total_bits,
+                res.total_bits,
+                res.rounds,
+            ]
+        )
+        totals[label] = res.total_bits
+    print_table(
+        ["budget", "|Z|", "trial bits", "D1LC bits", "total bits", "rounds"],
+        rows,
+        title=(
+            f"E15  trial-budget ablation (n={N}, Δ={DEGREE}; paper budget = "
+            f"{paper_iteration_count(N)} iterations, early-stop active)"
+        ),
+    )
+
+    # Pushing everything into D1LC (budget 0) costs strictly more than the
+    # paper's configuration.
+    assert totals[0] > totals["paper"]
+    # The curve flattens: by ~8 iterations we are within 2x of the paper
+    # budget's total.
+    assert totals[8] <= 2 * totals["paper"] + 64
+
+    part = regular_workload(N, DEGREE, seed=16)
+    benchmark(lambda: run_vertex_coloring(part, seed=16, max_trial_iterations=4))

@@ -1,0 +1,69 @@
+"""E16 — the conclusions' open problem: (Δ+1)-edge coloring cost anchor.
+
+The paper closes asking for the optimal communication of ``(Δ+1)``-edge
+coloring (Vizing's bound).  The only protocol on record is trivial
+gathering — ``Θ(m log n) = Θ(nΔ log n)`` bits — while ``(2Δ−1)`` colors
+cost ``Θ(n)`` (Theorem 2) and ``2Δ`` colors cost nothing (Theorem 3).
+This bench measures the three points of that color-count/communication
+frontier so future protocol work has a quantified target.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import print_table
+from repro.baselines import run_vizing_gather
+from repro.core import run_edge_coloring, run_zero_comm_edge_coloring
+from repro.graphs import assert_proper_edge_coloring
+
+from .conftest import regular_workload
+
+SIZES = (128, 256, 512)
+DEGREE = 12
+
+
+def test_e16_color_communication_frontier(benchmark):
+    rows = []
+    for n in SIZES:
+        part = regular_workload(n, DEGREE, seed=16)
+        graph = part.graph
+
+        vizing = run_vizing_gather(part)
+        assert_proper_edge_coloring(graph, vizing.colors, DEGREE + 1)
+        thm2 = run_edge_coloring(part)
+        assert_proper_edge_coloring(graph, thm2.colors, 2 * DEGREE - 1)
+        thm3 = run_zero_comm_edge_coloring(part)
+        assert_proper_edge_coloring(graph, thm3.colors, 2 * DEGREE)
+
+        rows.append(
+            [
+                n,
+                vizing.total_bits,
+                thm2.total_bits,
+                thm3.total_bits,
+                round(vizing.total_bits / max(thm2.total_bits, 1), 1),
+            ]
+        )
+    print_table(
+        [
+            "n",
+            f"Δ+1={DEGREE + 1} colors (gather)",
+            f"2Δ−1={2 * DEGREE - 1} colors (Thm 2)",
+            f"2Δ={2 * DEGREE} colors (Thm 3)",
+            "gather/Thm2 ratio",
+        ],
+        rows,
+        title=(
+            "E16  color-count vs communication frontier for edge coloring "
+            f"(Δ={DEGREE}; the Δ+1 column is the open problem's trivial anchor)"
+        ),
+    )
+
+    # Frontier ordering at every size: gather ≫ Theorem 2 > Theorem 3 = 0.
+    for _n, gather_bits, thm2_bits, thm3_bits, _ratio in rows:
+        assert gather_bits > thm2_bits > thm3_bits == 0
+    # The gather anchor grows like n·Δ·log n, so its ratio to Theorem 2's
+    # Θ(n) grows with n.
+    assert rows[-1][4] >= rows[0][4]
+
+    part = regular_workload(256, DEGREE, seed=17)
+    benchmark(lambda: run_vizing_gather(part))

@@ -1,0 +1,68 @@
+"""E17 — W-streaming space/colors trade-off above the Ω(n) floor.
+
+Section 1.1 surveys the W-streaming edge-coloring upper-bound line
+([BDH+19; CL21; ASZ22; SB24]); Corollary 1.2 gives its first lower bound:
+``Ω(n)`` space for ``2Δ−1`` colors.  This bench sweeps the buffer capacity
+of the buffer-and-flush scheme, tracing the empirical frontier between
+state bits and colors used — as the buffer shrinks toward the Ω(n) floor,
+the color count blows up past ``2Δ−1``, exactly the tension the
+corollary's bound formalizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import print_table
+from repro.graphs import assert_proper_edge_coloring, random_regular_graph
+from repro.lowerbound import (
+    BufferedWStreamColorer,
+    GreedyWStreamColorer,
+    run_wstreaming,
+)
+
+N = 512
+DEGREE = 12
+CAPS = (64, 256, 1024, 4096)
+
+
+def test_e17_space_color_tradeoff(benchmark):
+    rng = random.Random(17)
+    graph = random_regular_graph(N, DEGREE, rng)
+    edges = graph.edge_list()
+    rng.shuffle(edges)
+
+    rows = []
+    greedy_colors, greedy_peak = run_wstreaming(
+        GreedyWStreamColorer(N, DEGREE), edges
+    )
+    assert_proper_edge_coloring(graph, greedy_colors, 2 * DEGREE - 1)
+    rows.append(["greedy (2Δ−1 colors)", greedy_peak, 2 * DEGREE - 1])
+
+    tradeoff = []
+    for cap in CAPS:
+        algo = BufferedWStreamColorer(N, cap)
+        colors, peak = run_wstreaming(algo, edges)
+        assert_proper_edge_coloring(graph, colors)
+        used = max(colors.values())
+        rows.append([f"buffered cap={cap}", peak, used])
+        tradeoff.append((peak, used))
+    print_table(
+        ["algorithm", "peak state bits", "colors used"],
+        rows,
+        title=(
+            f"E17  W-streaming space vs colors (n={N}, Δ={DEGREE}; "
+            f"Corollary 1.2 floor: Ω(n)≈{N} bits at 2Δ−1={2 * DEGREE - 1} colors)"
+        ),
+    )
+
+    # The dial works: more space → fewer colors, monotonically.
+    peaks = [p for p, _ in tradeoff]
+    used = [u for _, u in tradeoff]
+    assert peaks == sorted(peaks)
+    assert used == sorted(used, reverse=True)
+    # Small buffers must exceed the (2Δ−1) color budget — the regime the
+    # lower bound says cannot be had for free.
+    assert used[0] > 2 * DEGREE - 1
+
+    benchmark(lambda: run_wstreaming(BufferedWStreamColorer(N, 256), edges))

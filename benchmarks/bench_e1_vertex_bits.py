@@ -1,0 +1,54 @@
+"""E1 — Theorem 1 communication scaling: bits are O(n).
+
+Regenerates the series behind the paper's headline claim: the expected
+communication of the ``(Δ+1)``-vertex coloring protocol is ``O(n)`` bits.
+We sweep ``n`` at fixed ``Δ`` and check that per-vertex cost is flat and a
+linear fit explains the totals.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import linear_fit, mean_ci, print_table
+from repro.core import run_vertex_coloring
+
+from .conftest import regular_workload
+
+SIZES = (128, 256, 512, 1024, 2048)
+DEGREE = 8
+SEEDS = (1, 2, 3)
+
+
+def collect_series():
+    rows = []
+    totals = []
+    for n in SIZES:
+        bits = []
+        for seed in SEEDS:
+            part = regular_workload(n, DEGREE, seed=seed)
+            res = run_vertex_coloring(part, seed=seed)
+            bits.append(res.total_bits)
+        mean, half = mean_ci(bits)
+        rows.append([n, round(mean), f"±{half:.0f}", round(mean / n, 2)])
+        totals.append((n, mean))
+    return rows, totals
+
+
+def test_e1_bits_linear_in_n(benchmark):
+    rows, totals = collect_series()
+    fit = linear_fit([n for n, _ in totals], [b for _, b in totals])
+    print_table(
+        ["n", "bits (mean)", "ci", "bits/n"],
+        rows,
+        title=(
+            "E1  Theorem 1 (Δ+1)-vertex coloring — bits vs n "
+            f"(Δ={DEGREE}, fit: {fit.slope:.1f}·n + {fit.intercept:.0f}, "
+            f"R²={fit.r2:.4f})"
+        ),
+    )
+    # O(n) shape: the linear fit must be essentially perfect and the
+    # per-vertex cost must not drift across a 16x size range.
+    assert fit.r2 > 0.99
+    per_vertex = [b / n for n, b in totals]
+    assert max(per_vertex) <= 1.5 * min(per_vertex)
+
+    benchmark(lambda: run_vertex_coloring(regular_workload(512, DEGREE, 7), seed=7))

@@ -1,0 +1,65 @@
+"""E20 — Corollary 1.1's Markov argument, measured.
+
+The paper converts expected-communication bounds into worst-case-budget
+protocols: if a Las Vegas protocol spends ``B`` bits in expectation, then
+by Markov's inequality capping the budget at ``c·B`` yields a protocol
+that finishes within budget with probability ``≥ 1 − 1/c``.  (This is the
+step that lets the Ω(n) worst-case lower bound of Theorem 4 imply the
+Ω(n) *expected*-cost bound of Corollary 1.1, contrapositively.)
+
+We measure the actual over-budget tail of Theorem 1's randomized cost
+across seeds and compare it to the Markov ceiling — the concentration is
+far better than Markov guarantees, as expected from a sum of per-vertex
+costs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import mean_ci, print_table
+from repro.core import run_vertex_coloring
+
+from .conftest import regular_workload
+
+N = 256
+DEGREE = 8
+SEEDS = 40
+MULTIPLIERS = (1.0, 1.1, 1.25, 1.5, 2.0)
+
+
+def test_e20_markov_budget_tail(benchmark):
+    part = regular_workload(N, DEGREE, seed=20)
+    costs = [
+        run_vertex_coloring(part, seed=seed).total_bits for seed in range(SEEDS)
+    ]
+    mean, half = mean_ci(costs)
+
+    rows = []
+    for mult in MULTIPLIERS:
+        budget = mult * mean
+        over = sum(1 for c in costs if c > budget)
+        empirical = over / len(costs)
+        markov = min(1.0, 1.0 / mult)
+        rows.append(
+            [f"{mult:.2f}×mean", round(budget), over, round(empirical, 3), round(markov, 3)]
+        )
+    print_table(
+        ["budget", "bits", "runs over", "empirical tail", "Markov ceiling"],
+        rows,
+        title=(
+            f"E20  Corollary 1.1 budget tail (n={N}, Δ={DEGREE}, {SEEDS} seeds; "
+            f"mean cost {mean:.0f}±{half:.0f} bits)"
+        ),
+    )
+
+    # Markov is an upper bound on the tail at every multiplier.
+    for (_, _, _, empirical, markov) in rows:
+        assert empirical <= markov + 1e-9
+    # And the cost is concentrated: at 2x the mean, virtually nothing
+    # exceeds the budget.
+    assert rows[-1][3] <= 0.05
+    # Spread sanity: the randomized cost's spread stays within ±50% of the
+    # mean across seeds (sum-of-independent-ish-terms concentration).
+    assert max(costs) <= 1.5 * mean
+    assert min(costs) >= 0.5 * mean
+
+    benchmark(lambda: run_vertex_coloring(part, seed=99))

@@ -1,0 +1,59 @@
+"""E2 — Theorem 1 round scaling: rounds are O(log log n · log Δ).
+
+Two sweeps: ``n`` at fixed ``Δ`` (round growth must track ``log log n``)
+and ``Δ`` at fixed ``n`` (growth must track ``log Δ``).  The absolute
+numbers carry the paper's loose constants; the shape — near-flat in ``n``,
+logarithmic in ``Δ`` — is the claim.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import print_table
+from repro.core import run_vertex_coloring
+
+from .conftest import regular_workload
+
+N_SIZES = (128, 256, 512, 1024, 2048)
+DELTAS = (4, 8, 16, 32)
+FIXED_DEGREE = 8
+FIXED_N = 512
+
+
+def test_e2_rounds_polyloglog(benchmark):
+    rows_n = []
+    rounds_by_n = []
+    for n in N_SIZES:
+        res = run_vertex_coloring(regular_workload(n, FIXED_DEGREE, 1), seed=1)
+        model = math.log2(math.log2(n)) * math.log2(FIXED_DEGREE + 1)
+        rows_n.append([n, res.rounds, round(model, 1), round(res.rounds / model, 1)])
+        rounds_by_n.append(res.rounds)
+    print_table(
+        ["n", "rounds", "loglog(n)·log(Δ+1)", "ratio"],
+        rows_n,
+        title=f"E2a  Theorem 1 rounds vs n (Δ={FIXED_DEGREE})",
+    )
+
+    rows_d = []
+    rounds_by_d = []
+    for d in DELTAS:
+        res = run_vertex_coloring(regular_workload(FIXED_N, d, 1), seed=1)
+        model = math.log2(math.log2(FIXED_N)) * math.log2(d + 1)
+        rows_d.append([d, res.rounds, round(model, 1), round(res.rounds / model, 1)])
+        rounds_by_d.append(res.rounds)
+    print_table(
+        ["Δ", "rounds", "loglog(n)·log(Δ+1)", "ratio"],
+        rows_d,
+        title=f"E2b  Theorem 1 rounds vs Δ (n={FIXED_N})",
+    )
+
+    # Shape checks: a 16x growth in n must cost at most ~2x in rounds
+    # (log log), and rounds must grow monotonically-ish but sublinearly in Δ.
+    assert rounds_by_n[-1] <= 2.5 * rounds_by_n[0] + 10
+    assert rounds_by_d[-1] <= 6 * rounds_by_d[0]
+    assert rounds_by_d[-1] < 8 * math.log2(DELTAS[-1]) * math.log2(
+        math.log2(FIXED_N)
+    ) * 4
+
+    benchmark(lambda: run_vertex_coloring(regular_workload(256, 16, 5), seed=5))

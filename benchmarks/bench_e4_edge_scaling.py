@@ -1,0 +1,55 @@
+"""E4 — Theorem 2: (2Δ−1)-edge coloring uses O(n) bits and O(1) rounds.
+
+Sweeps ``n`` at fixed ``Δ`` and ``Δ`` at fixed ``n``.  Claims to
+reproduce: bits grow linearly in ``n``; the round count is a constant 2
+(Algorithm 2's two exchanges) regardless of both parameters; bits do not
+grow with ``Δ`` beyond the cover-message constants.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import linear_fit, print_table
+from repro.core import run_edge_coloring
+
+from .conftest import regular_workload
+
+N_SIZES = (128, 256, 512, 1024, 2048)
+DELTAS = (10, 14, 20, 28)
+FIXED_DEGREE = 10
+FIXED_N = 512
+
+
+def test_e4_edge_coloring_scaling(benchmark):
+    rows_n = []
+    totals = []
+    for n in N_SIZES:
+        res = run_edge_coloring(regular_workload(n, FIXED_DEGREE, 2))
+        rows_n.append([n, res.total_bits, round(res.total_bits / n, 2), res.rounds])
+        totals.append((n, res.total_bits))
+    fit = linear_fit([n for n, _ in totals], [b for _, b in totals])
+    print_table(
+        ["n", "bits", "bits/n", "rounds"],
+        rows_n,
+        title=(
+            f"E4a  Theorem 2 (2Δ−1)-edge coloring vs n (Δ={FIXED_DEGREE}, "
+            f"fit {fit.slope:.1f}·n+{fit.intercept:.0f}, R²={fit.r2:.4f})"
+        ),
+    )
+    assert fit.r2 > 0.99
+    assert all(rounds == 2 for _, _, _, rounds in rows_n)
+
+    rows_d = []
+    for d in DELTAS:
+        res = run_edge_coloring(regular_workload(FIXED_N, d, 2))
+        rows_d.append([d, res.total_bits, round(res.total_bits / FIXED_N, 2), res.rounds])
+    print_table(
+        ["Δ", "bits", "bits/n", "rounds"],
+        rows_d,
+        title=f"E4b  Theorem 2 vs Δ (n={FIXED_N})",
+    )
+    assert all(rounds == 2 for _, _, _, rounds in rows_d)
+    # Bits stay O(n): per-vertex cost bounded by a constant across Δ.
+    per_vertex = [r[2] for r in rows_d]
+    assert max(per_vertex) <= 2 * min(per_vertex) + 8
+
+    benchmark(lambda: run_edge_coloring(regular_workload(512, FIXED_DEGREE, 4)))

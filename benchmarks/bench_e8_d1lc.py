@@ -1,0 +1,55 @@
+"""E8 — the D1LC protocol (Lemma 3.3) on leftover-style instances.
+
+Measures the cost of coloring a leftover set ``Z`` of varying size:
+Lemma 3.3 promises ``O(|Z| log² |Z| log² Δ + |Z| log³ |Z|)`` expected bits
+and ``O(log Δ)`` worst-case rounds.  The leftover instances are produced
+the same way Theorem 1 produces them: run Random-Color-Trial for a capped
+number of iterations and hand the remainder to D1LC.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import print_table
+from repro.core import run_vertex_coloring
+from repro.graphs import assert_proper_vertex_coloring
+
+from .conftest import regular_workload
+
+N = 512
+DEGREE = 8
+CAPS = (0, 1, 2, 4)
+
+
+def test_e8_d1lc_leftover_phase(benchmark):
+    rows = []
+    for cap in CAPS:
+        part = regular_workload(N, DEGREE, seed=8)
+        res = run_vertex_coloring(part, seed=8, max_trial_iterations=cap)
+        assert_proper_vertex_coloring(part.graph, res.colors, DEGREE + 1)
+        stats = res.transcript.phase_stats("d1lc_leftover")
+        rows.append(
+            [
+                cap,
+                res.leftover_size,
+                stats.total_bits,
+                round(stats.total_bits / max(res.leftover_size, 1), 1),
+                stats.rounds,
+            ]
+        )
+    print_table(
+        ["trial iterations", "|Z|", "D1LC bits", "bits/|Z|", "D1LC rounds"],
+        rows,
+        title=f"E8  Lemma 3.3 leftover coloring (n={N}, Δ={DEGREE})",
+    )
+
+    # Fewer trial iterations → larger leftover → more D1LC bits.
+    leftovers = [r[1] for r in rows]
+    assert leftovers == sorted(leftovers, reverse=True)
+    # Lemma 3.3(ii): rounds bounded by O(log Δ) regardless of |Z|.
+    round_cap = 3 * math.log2(DEGREE + 2) + 12
+    assert all(r[4] <= round_cap for r in rows)
+
+    part = regular_workload(N, DEGREE, seed=9)
+    benchmark(lambda: run_vertex_coloring(part, seed=9, max_trial_iterations=1))

@@ -1,0 +1,37 @@
+"""Shared workload builders for the benchmark harness.
+
+Every experiment (E1–E13 of DESIGN.md §4) lives in its own
+``bench_e*_*.py`` file; run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the paper-style tables each experiment prints; the
+pytest-benchmark timings quantify the simulation cost itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import EdgePartition, partition_random, random_regular_graph
+
+
+def regular_workload(n: int, d: int, seed: int = 0) -> EdgePartition:
+    """A randomly partitioned random d-regular graph — the default workload."""
+    rng = random.Random(seed)
+    graph = random_regular_graph(n, d, rng)
+    return partition_random(graph, rng)
+
+
+@pytest.fixture(scope="session")
+def medium_partition() -> EdgePartition:
+    """One shared medium-size workload for timing benchmarks."""
+    return regular_workload(512, 8, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_partition() -> EdgePartition:
+    """One shared small workload for round-heavy baselines."""
+    return regular_workload(128, 8, seed=42)

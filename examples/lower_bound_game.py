@@ -1,0 +1,93 @@
+"""Walk through the paper's Ω(n) lower-bound machinery (Section 6).
+
+Three acts:
+
+1. the ZEC game — search for the best zero-communication strategies and
+   watch Lemma 6.2 cap them strictly below certainty;
+2. parallel repetition — the n-fold product game's success collapses
+   exponentially (the engine of Theorem 4);
+3. the learning gadget — our own Theorem 1 protocol provably leaks Alice's
+   entire input string to Bob through the coloring, so its O(n) cost is
+   optimal.
+
+Run:  python examples/lower_bound_game.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core import run_vertex_coloring
+from repro.lowerbound import (
+    LEMMA_62_BOUND,
+    decode_bits,
+    exact_win_probability,
+    gadget_partition,
+    label_sets,
+    lemma_62_dichotomy,
+    optimize_strategies,
+    product_success_exact,
+    random_strategy,
+)
+
+
+def act_one_zec(rng: random.Random):
+    print("=" * 64)
+    print("Act 1 — the ZEC game (Lemma 6.2)")
+    print("=" * 64)
+    rand_a, rand_b = random_strategy(rng), random_strategy(rng)
+    rand_value = exact_win_probability(rand_a, rand_b)
+    print(f"random strategies         : win {rand_value:.4f} ({rand_value * 441:.0f}/441)")
+
+    alice, bob, best = optimize_strategies(rng, restarts=8, iterations=20)
+    print(f"best-response optimized   : win {best:.6f} ({best * 441:.0f}/441)")
+    print(f"Lemma 6.2 upper bound     : {LEMMA_62_BOUND:.6f} (11024/11025)")
+    print(f"proof case for best pair  : {lemma_62_dichotomy(alice, bob)}")
+    labels = label_sets(alice)
+    multi = sum(1 for lab in labels.values() if len(lab) >= 2)
+    print(f"Alice's spokes with ≥2 labels: {multi}/7 "
+          "(the pigeonhole fuel of the lemma)")
+    return alice, bob, best
+
+
+def act_two_repetition(alice, bob, best: float):
+    print()
+    print("=" * 64)
+    print("Act 2 — parallel repetition (Proposition 6.3 / Theorem 4)")
+    print("=" * 64)
+    print(f"{'copies n':>10} {'success':>14} {'log2(success)':>15}")
+    for n in (1, 10, 50, 100, 1000):
+        p = product_success_exact(alice, bob, n)
+        print(f"{n:>10} {p:>14.3e} {math.log2(p):>15.1f}")
+    print("…so any o(n)-bit protocol, converted to a 2^{-o(n)} zero-"
+          "communication strategy via transcript guessing (Lemma 6.1),")
+    print("would beat this 2^{-Ω(n)} ceiling — contradiction, hence Ω(n).")
+
+
+def act_three_gadget(rng: random.Random):
+    print()
+    print("=" * 64)
+    print("Act 3 — the learning gadget (vertex-coloring optimality, FM25)")
+    print("=" * 64)
+    secret = [rng.randint(0, 1) for _ in range(64)]
+    partition = gadget_partition(secret)
+    result = run_vertex_coloring(partition, seed=42)
+    decoded = decode_bits(result.colors, len(secret))
+    print(f"Alice's secret (64 bits)  : {''.join(map(str, secret[:32]))}…")
+    print(f"Bob's decoding            : {''.join(map(str, decoded[:32]))}…")
+    print(f"decoded correctly         : {decoded == secret}")
+    print(f"protocol communication    : {result.total_bits} bits "
+          f"({result.total_bits / len(secret):.1f} per secret bit ≥ 1, "
+          "as the reduction demands)")
+
+
+def main() -> None:
+    rng = random.Random(6)
+    alice, bob, best = act_one_zec(rng)
+    act_two_repetition(alice, bob, best)
+    act_three_gadget(rng)
+
+
+if __name__ == "__main__":
+    main()

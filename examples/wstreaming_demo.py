@@ -1,0 +1,73 @@
+"""W-streaming edge coloring: the space/colors dial and the Ω(n) floor.
+
+Section 6.4's setting: edges arrive as a stream, internal memory is the
+scarce resource, and output records may be emitted at any time.  This demo
+streams a graph through (a) the classical greedy colorer (``2Δ−1`` colors,
+``n(2Δ−1)``-bit state) and (b) buffer-and-flush colorers at several buffer
+sizes, then runs the paper's streaming→two-party reduction to show where
+Corollary 1.2's Ω(n) space bound comes from.
+
+Run:  python examples/wstreaming_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs import (
+    assert_proper_edge_coloring,
+    partition_random,
+    random_regular_graph,
+)
+from repro.lowerbound import (
+    BufferedWStreamColorer,
+    GreedyWStreamColorer,
+    reduce_streaming_to_two_party,
+    run_wstreaming,
+)
+
+
+def main() -> None:
+    rng = random.Random(3)
+    n, delta = 400, 10
+    graph = random_regular_graph(n, delta, rng)
+    stream = graph.edge_list()
+    rng.shuffle(stream)
+    print(f"stream: {len(stream)} edges of an n={n}, Δ={delta} graph "
+          f"(arbitrary arrival order)")
+
+    print(f"\n{'algorithm':<28}{'state bits':>12}{'colors':>8}")
+    greedy_colors, greedy_peak = run_wstreaming(
+        GreedyWStreamColorer(n, delta), stream
+    )
+    assert_proper_edge_coloring(graph, greedy_colors, 2 * delta - 1)
+    print(f"{'greedy (2Δ−1 colors)':<28}{greedy_peak:>12}{2 * delta - 1:>8}")
+
+    for cap in (50, 200, 800, len(stream) + 1):
+        colors, peak = run_wstreaming(BufferedWStreamColorer(n, cap), stream)
+        assert_proper_edge_coloring(graph, colors)
+        used = max(colors.values())
+        label = f"buffered (cap={cap})"
+        print(f"{label:<28}{peak:>12}{used:>8}")
+
+    print(f"\nΩ(n) floor from Corollary 1.2: ≈{n} bits at 2Δ−1 colors —")
+    print("shrinking the buffer toward that floor forces the color count up.")
+
+    # The reduction that proves the floor: a one-pass space-s algorithm is
+    # an s-bit weaker-two-party protocol.
+    part = partition_random(graph, rng)
+    a_out, b_out, transcript = reduce_streaming_to_two_party(
+        part, lambda: GreedyWStreamColorer(n, delta)
+    )
+    merged = {**a_out, **b_out}
+    assert_proper_edge_coloring(graph, merged, 2 * delta - 1)
+    print(f"\nstreaming→two-party reduction (Theorem 5 ⇒ Corollary 1.2):")
+    print(f"  Alice emitted {len(a_out)} edge colors, Bob {len(b_out)}")
+    print(f"  one state transfer = {transcript.total_bits} bits "
+          f"(exactly the streaming state)")
+    print("  an o(n)-space streamer would give an o(n)-bit protocol,")
+    print("  contradicting the Ω(n) bound for the weaker problem.")
+
+
+if __name__ == "__main__":
+    main()

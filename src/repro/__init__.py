@@ -1,0 +1,37 @@
+"""repro — Round and Communication Efficient Graph Coloring (PODC 2025).
+
+A full reproduction of Chang, Mishra, Nguyen & Salim's two-party graph
+coloring protocols: the Theorem 1 ``(Δ+1)``-vertex coloring protocol
+(``O(n)`` bits, ``O(log log n · log Δ)`` rounds), the Theorem 2 ``(2Δ−1)``-
+edge coloring protocol (``O(n)`` bits, ``O(1)`` rounds), the Theorem 3
+zero-communication ``(2Δ)``-edge coloring, the baselines they are compared
+against, and the Section 6 lower-bound machinery (ZEC games, parallel
+repetition, the learning-gadget reduction, and the W-streaming model).
+
+Quickstart::
+
+    import random
+    from repro import graphs, core
+
+    rng = random.Random(0)
+    g = graphs.random_regular_graph(512, 10, rng)
+    part = graphs.partition_random(g, rng)
+    result = core.run_vertex_coloring(part, seed=1)
+    print(result.total_bits, "bits in", result.rounds, "rounds")
+"""
+
+from . import analysis, baselines, coloring, comm, core, graphs, lowerbound, verify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "coloring",
+    "comm",
+    "core",
+    "graphs",
+    "lowerbound",
+    "verify",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Statistics and table-rendering helpers for the experiment harness."""
+
+from .stats import FitResult, geometric_decay_rate, linear_fit, mean_ci, r_squared
+from .tables import format_table, print_table
+
+__all__ = [
+    "FitResult",
+    "format_table",
+    "geometric_decay_rate",
+    "linear_fit",
+    "mean_ci",
+    "print_table",
+    "r_squared",
+]

@@ -1,0 +1,91 @@
+"""Statistics helpers for the experiment harness.
+
+Every benchmark reduces repeated protocol runs to the same summaries:
+means with confidence intervals, least-squares fits against a model curve
+(linearity of bits in ``n``, ``log²`` growth of Color-Sample, geometric
+decay of active vertices), and goodness-of-fit (R²).  numpy is the only
+dependency; scipy is used opportunistically for t-quantiles when present.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FitResult", "geometric_decay_rate", "linear_fit", "mean_ci", "r_squared"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Least-squares line ``y ≈ slope·x + intercept``."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        """The fitted value at ``x``."""
+        return self.slope * x + self.intercept
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> tuple[float, float]:
+    """Sample mean and half-width of a normal-approximation CI."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one value")
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, 0.0
+    z = _z_quantile(confidence)
+    half = z * float(data.std(ddof=1)) / math.sqrt(data.size)
+    return mean, half
+
+
+def _z_quantile(confidence: float) -> float:
+    """Two-sided normal quantile; scipy if available, else the 95% constant."""
+    try:
+        from scipy import stats  # noqa: PLC0415 - optional dependency
+
+        return float(stats.norm.ppf(0.5 + confidence / 2.0))
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        return 1.96
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Least-squares linear fit with R²."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two matching points")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    return FitResult(float(slope), float(intercept), r_squared(y, predicted))
+
+
+def r_squared(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination of ``predicted`` against ``actual``."""
+    a = np.asarray(list(actual), dtype=float)
+    p = np.asarray(list(predicted), dtype=float)
+    ss_res = float(((a - p) ** 2).sum())
+    ss_tot = float(((a - a.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def geometric_decay_rate(counts: Sequence[float]) -> float:
+    """Fitted per-step decay ratio of a positive, decreasing series.
+
+    Fits ``log counts`` linearly and returns ``exp(slope)`` — e.g. the
+    per-iteration survival ratio of active vertices in Random-Color-Trial
+    (Lemma 4.3 predicts ``≤ 23/24``).
+    """
+    positive = [(i, c) for i, c in enumerate(counts) if c > 0]
+    if len(positive) < 2:
+        raise ValueError("need at least two positive counts")
+    xs = [i for i, _ in positive]
+    ys = [math.log(c) for _, c in positive]
+    return math.exp(linear_fit(xs, ys).slope)

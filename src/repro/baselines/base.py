@@ -1,0 +1,29 @@
+"""Shared result container for baseline vertex-coloring protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.ledger import Transcript
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline protocol run."""
+
+    name: str
+    colors: dict[int, int]
+    transcript: Transcript
+    num_colors: int
+
+    @property
+    def total_bits(self) -> int:
+        """Bits exchanged in both directions."""
+        return self.transcript.total_bits
+
+    @property
+    def rounds(self) -> int:
+        """Communication rounds used."""
+        return self.transcript.rounds

@@ -1,0 +1,103 @@
+"""One-round palette-sparsification protocol (ACK19-style).
+
+The paper notes that the one-pass streaming algorithm of Assadi, Chen, and
+Khanna [ACK19] yields a one-round protocol with ``O(n log³ n)`` bits: both
+parties publicly sample per-vertex lists ``L(v)`` of ``Θ(log n)`` colors
+(no communication — public randomness), then simultaneously exchange their
+*conflict edges* — edges whose endpoints' lists intersect; by the palette
+sparsification theorem there are ``O(n log² n)`` of them whp.  Each party
+then deterministically solves the same list-coloring instance locally
+(identical seeds ⇒ identical colorings), which is proper on the whole graph
+because non-conflict edges can never be monochromatic.
+
+Failure (whp none): if the local solver fails, one more simultaneous round
+ships both full edge sets and both parties greedy-color identically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Generator
+
+from ..comm.bits import gamma_cost, uint_cost
+from ..comm.ledger import Transcript
+from ..comm.messages import Msg
+from ..comm.randomness import PublicRandomness
+from ..comm.runner import run_protocol
+from ..coloring.greedy import greedy_vertex_coloring
+from ..coloring.list_coloring import solve_list_coloring
+from ..graphs.graph import Graph
+from ..graphs.partition import EdgePartition
+from .base import BaselineResult
+
+__all__ = ["one_round_sparsify_party", "run_one_round_sparsify", "ack_list_size"]
+
+#: Multiplier on ``log₂ n`` for the per-vertex list size of [ACK19].
+LIST_FACTOR = 4.0
+
+
+def ack_list_size(n: int, num_colors: int) -> int:
+    """``Θ(log n)`` list size, clamped to the palette size."""
+    size = max(6, math.ceil(LIST_FACTOR * math.log2(max(n, 2))))
+    return min(size, num_colors)
+
+
+def one_round_sparsify_party(
+    own_graph: Graph,
+    num_colors: int,
+    pub: PublicRandomness,
+    solver_seed: int,
+) -> Generator[Msg, Msg, dict[int, int]]:
+    """One party's side of the one-round sparsification protocol."""
+    n = own_graph.n
+    ell = ack_list_size(n, num_colors)
+    lists = {
+        v: set(pub.shuffled(range(1, num_colors + 1))[:ell]) for v in range(n)
+    }
+
+    conflicts = [
+        (u, v) for u, v in own_graph.edges() if lists[u] & lists[v]
+    ]
+    edge_width = 2 * uint_cost(max(n - 1, 1))
+    cost = gamma_cost(len(conflicts) + 1) + len(conflicts) * edge_width
+    reply = yield Msg(cost, tuple(conflicts))
+    peer_conflicts = reply.payload
+
+    sparsified = Graph(n, list(conflicts) + list(peer_conflicts))
+    colors = solve_list_coloring(sparsified, lists, random.Random(solver_seed))
+    if colors is not None:
+        return colors
+
+    # Fallback (whp unreachable): exchange everything, color identically.
+    edges = tuple(own_graph.edges())
+    cost = gamma_cost(len(edges) + 1) + len(edges) * edge_width
+    reply = yield Msg(cost, edges)
+    full = Graph(n, list(edges) + list(reply.payload))
+    return greedy_vertex_coloring(full, num_colors=num_colors)
+
+
+def run_one_round_sparsify(partition: EdgePartition, seed: int = 0) -> BaselineResult:
+    """Run the one-round protocol on an edge-partitioned graph, measured."""
+    delta = partition.max_degree
+    num_colors = delta + 1
+    transcript = Transcript()
+    if delta == 0:
+        return BaselineResult(
+            "one_round_sparsify",
+            {v: 1 for v in range(partition.n)},
+            transcript,
+            num_colors,
+        )
+    a_colors, b_colors, _ = run_protocol(
+        one_round_sparsify_party(
+            partition.alice_graph, num_colors, PublicRandomness(seed), seed + 1
+        ),
+        one_round_sparsify_party(
+            partition.bob_graph, num_colors, PublicRandomness(seed), seed + 1
+        ),
+        transcript,
+    )
+    if a_colors != b_colors:
+        raise AssertionError("one-round parties disagree on the coloring")
+    return BaselineResult("one_round_sparsify", a_colors, transcript, num_colors)

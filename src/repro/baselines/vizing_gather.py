@@ -1,0 +1,68 @@
+"""Gather-and-Vizing: a trivial ``(Δ+1)``-edge coloring protocol.
+
+The paper's conclusion asks for the optimal communication complexity of
+``(Δ+1)``-edge coloring (Vizing's theorem guarantees existence).  No
+non-trivial protocol is known; this module pins the *trivial* upper bound
+as an anchor: both parties exchange their full edge sets in one
+simultaneous round (``Θ(m log n)`` bits) and each runs the same
+deterministic Misra–Gries/Vizing algorithm locally.  The open question is
+whether ``O(n·polylog)`` — or even ``O(n)`` — is achievable; the E4
+experiment's contrast row shows how far this anchor sits above Theorem 2's
+``(2Δ−1)``-color cost.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..comm.bits import gamma_cost, uint_cost
+from ..comm.ledger import Transcript
+from ..comm.messages import Msg
+from ..comm.runner import run_protocol
+from ..coloring.vizing import vizing_edge_coloring
+from ..graphs.graph import Edge, Graph, canonical_edge
+from ..graphs.partition import EdgePartition
+from .base import BaselineResult
+
+__all__ = ["run_vizing_gather", "vizing_gather_party"]
+
+
+def vizing_gather_party(
+    own_graph: Graph,
+    num_colors: int,
+) -> Generator[Msg, Msg, dict[Edge, int]]:
+    """One party's side: ship everything, Vizing-color the union locally.
+
+    Returns only the colors of this party's own edges (the model's output
+    requirement for edge coloring).
+    """
+    n = own_graph.n
+    edges = tuple(own_graph.edges())
+    edge_width = 2 * uint_cost(max(n - 1, 1))
+    cost = gamma_cost(len(edges) + 1) + len(edges) * edge_width
+    reply = yield Msg(cost, edges)
+    union = Graph(n, list(edges) + list(reply.payload))
+    full_coloring = vizing_edge_coloring(union, num_colors=num_colors)
+    return {
+        canonical_edge(u, v): full_coloring[canonical_edge(u, v)]
+        for u, v in edges
+    }
+
+
+def run_vizing_gather(partition: EdgePartition) -> BaselineResult:
+    """Measure the trivial ``(Δ+1)``-edge coloring protocol.
+
+    The result's ``colors`` hold the union coloring; ``num_colors`` is the
+    Vizing palette ``Δ+1``.
+    """
+    delta = partition.max_degree
+    num_colors = max(delta + 1, 1)
+    transcript = Transcript()
+    alice, bob, _ = run_protocol(
+        vizing_gather_party(partition.alice_graph, num_colors),
+        vizing_gather_party(partition.bob_graph, num_colors),
+        transcript,
+    )
+    merged = dict(alice)
+    merged.update(bob)
+    return BaselineResult("vizing_gather", merged, transcript, num_colors)

@@ -1,0 +1,21 @@
+"""Local (zero-communication) coloring algorithms used by the protocols."""
+
+from .fan import FanProcedureError, color_edge_with_fan
+from .fournier import fournier_edge_coloring
+from .greedy import greedy_d1lc_coloring, greedy_edge_coloring, greedy_vertex_coloring
+from .list_coloring import solve_list_coloring
+from .state import EdgeColoringState
+from .vizing import common_free_color, vizing_edge_coloring
+
+__all__ = [
+    "EdgeColoringState",
+    "FanProcedureError",
+    "color_edge_with_fan",
+    "common_free_color",
+    "fournier_edge_coloring",
+    "greedy_d1lc_coloring",
+    "greedy_edge_coloring",
+    "greedy_vertex_coloring",
+    "solve_list_coloring",
+    "vizing_edge_coloring",
+]

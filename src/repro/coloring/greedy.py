@@ -1,0 +1,99 @@
+"""Greedy colorings: vertex, edge, and (degree+1)-list coloring.
+
+These are the zero-communication building blocks the protocols compose:
+
+* greedy ``(Δ+1)``-vertex coloring (the classical bound the paper opens with);
+* greedy ``(2Δ−1)``-edge coloring (each edge is adjacent to ``≤ 2Δ−2``
+  others, used by Lemma 5.1's bounded-degree protocol);
+* sequential D1LC: with ``|Ψ(v)| ≥ deg(v)+1`` a greedy pass in *any* order
+  always succeeds — this is the always-correct fallback of Lemma 3.3 Step 4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..graphs.graph import Edge, Graph, canonical_edge
+
+__all__ = [
+    "greedy_d1lc_coloring",
+    "greedy_edge_coloring",
+    "greedy_vertex_coloring",
+]
+
+
+def greedy_vertex_coloring(
+    graph: Graph,
+    order: Sequence[int] | None = None,
+    num_colors: int | None = None,
+) -> dict[int, int]:
+    """Greedy vertex coloring with palette ``{1..Δ+1}`` (or wider).
+
+    Always succeeds with ``Δ+1`` colors: a vertex has at most ``Δ`` colored
+    neighbors when processed.
+    """
+    k = graph.max_degree() + 1 if num_colors is None else num_colors
+    colors: dict[int, int] = {}
+    for v in order if order is not None else graph.vertices():
+        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        color = next(c for c in range(1, k + 1) if c not in taken)
+        colors[v] = color
+    if len(colors) != graph.n:
+        raise ValueError("order must enumerate every vertex exactly once")
+    return colors
+
+
+def greedy_edge_coloring(
+    graph: Graph,
+    num_colors: int | None = None,
+    order: Sequence[Edge] | None = None,
+    forbidden: Mapping[int, set[int]] | None = None,
+) -> dict[Edge, int]:
+    """Greedy edge coloring with palette ``{1..2Δ−1}`` (or wider).
+
+    ``forbidden[v]`` lists extra colors unusable at ``v`` (e.g. colors the
+    other party's edges already occupy in Lemma 5.1's protocol).  Raises
+    ``ValueError`` if some edge has no available color — the callers'
+    palette arithmetic guarantees this never happens on valid inputs.
+    """
+    k = max(2 * graph.max_degree() - 1, 1) if num_colors is None else num_colors
+    at_vertex: dict[int, set[int]] = {
+        v: set(forbidden.get(v, ())) if forbidden else set() for v in graph.vertices()
+    }
+    colors: dict[Edge, int] = {}
+    edges = list(order) if order is not None else graph.edge_list()
+    for u, v in edges:
+        edge = canonical_edge(u, v)
+        taken = at_vertex[u] | at_vertex[v]
+        color = next((c for c in range(1, k + 1) if c not in taken), None)
+        if color is None:
+            raise ValueError(f"no color available for edge {edge} within {k} colors")
+        colors[edge] = color
+        at_vertex[u].add(color)
+        at_vertex[v].add(color)
+    return colors
+
+
+def greedy_d1lc_coloring(
+    graph: Graph,
+    lists: Mapping[int, set[int]],
+    order: Sequence[int] | None = None,
+) -> dict[int, int]:
+    """Sequential (degree+1)-list coloring — always succeeds.
+
+    Requires ``|lists[v]| ≥ deg(v)+1`` for every vertex; then, whatever the
+    order, a vertex always has a list color unused by its colored neighbors.
+    """
+    for v in graph.vertices():
+        if len(lists[v]) < graph.degree(v) + 1:
+            raise ValueError(
+                f"vertex {v} has list of size {len(lists[v])} < deg+1 = {graph.degree(v) + 1}"
+            )
+    colors: dict[int, int] = {}
+    for v in order if order is not None else graph.vertices():
+        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        color = next(c for c in sorted(lists[v]) if c not in taken)
+        colors[v] = color
+    if len(colors) != graph.n:
+        raise ValueError("order must enumerate every vertex exactly once")
+    return colors

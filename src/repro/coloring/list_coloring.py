@@ -1,0 +1,94 @@
+"""Randomized list-coloring solver for sparsified instances (Lemma 3.3, Step 3).
+
+After palette sparsification (Proposition 3.2) Alice holds a sparse graph
+``H`` and per-vertex lists ``L(v)``; the instance is colorable with high
+probability but is *not* a (degree+1)-list instance, so plain greedy can get
+stuck.  We search with randomized greedy restarts followed by min-conflicts
+repair; on exhaustion we return ``None`` and the caller falls back to the
+paper's Step 4 (gather everything, solve sequential D1LC).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+
+from ..graphs.graph import Graph
+
+__all__ = ["solve_list_coloring"]
+
+
+def solve_list_coloring(
+    graph: Graph,
+    lists: Mapping[int, set[int]],
+    rng: random.Random,
+    max_restarts: int = 8,
+    repair_steps_per_vertex: int = 40,
+) -> dict[int, int] | None:
+    """A proper coloring with ``colors[v] ∈ lists[v]``, or ``None``.
+
+    Strategy per restart: greedy in a random order preferring scarce lists,
+    assigning a random available list color; leftover conflicted vertices go
+    through min-conflicts repair.  Deterministic given ``rng``.
+    """
+    if any(not lists[v] for v in graph.vertices()):
+        return None
+    for _ in range(max_restarts):
+        colors = _random_greedy(graph, lists, rng)
+        if colors is not None and _repair(graph, lists, colors, rng, repair_steps_per_vertex):
+            return colors
+    return None
+
+
+def _random_greedy(
+    graph: Graph,
+    lists: Mapping[int, set[int]],
+    rng: random.Random,
+) -> dict[int, int] | None:
+    """Random-order greedy; stuck vertices get a random (conflicting) color."""
+    order = sorted(graph.vertices(), key=lambda v: (len(lists[v]), rng.random()))
+    colors: dict[int, int] = {}
+    for v in order:
+        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        available = [c for c in lists[v] if c not in taken]
+        if available:
+            colors[v] = rng.choice(available)
+        else:
+            colors[v] = rng.choice(sorted(lists[v]))
+    return colors
+
+
+def _conflicts_at(graph: Graph, colors: dict[int, int], v: int) -> int:
+    """Number of neighbors of ``v`` sharing its color."""
+    color = colors[v]
+    return sum(1 for u in graph.neighbors(v) if colors.get(u) == color)
+
+
+def _repair(
+    graph: Graph,
+    lists: Mapping[int, set[int]],
+    colors: dict[int, int],
+    rng: random.Random,
+    steps_per_vertex: int,
+) -> bool:
+    """Min-conflicts local search; True if a proper coloring was reached."""
+    conflicted = {v for v in graph.vertices() if _conflicts_at(graph, colors, v) > 0}
+    budget = steps_per_vertex * max(1, graph.n)
+    for _ in range(budget):
+        if not conflicted:
+            return True
+        v = rng.choice(sorted(conflicted))
+        best_color = min(
+            sorted(lists[v]),
+            key=lambda c: (
+                sum(1 for u in graph.neighbors(v) if colors.get(u) == c),
+                rng.random(),
+            ),
+        )
+        colors[v] = best_color
+        for w in set(graph.neighbors(v)) | {v}:
+            if _conflicts_at(graph, colors, w) > 0:
+                conflicted.add(w)
+            else:
+                conflicted.discard(w)
+    return not conflicted

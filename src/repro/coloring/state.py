@@ -1,0 +1,122 @@
+"""Mutable edge-coloring state with fast per-vertex color lookups.
+
+Shared by the greedy, Vizing, and Fournier edge-coloring algorithms: at
+every vertex we maintain the map ``color → neighbor`` so that "which edge at
+``v`` has color ``c``?" and "which colors are free at ``v``?" are O(1) /
+O(k) respectively — the two queries fan rotation and Kempe-chain inversion
+perform constantly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..graphs.graph import Edge, canonical_edge
+
+__all__ = ["EdgeColoringState"]
+
+
+class EdgeColoringState:
+    """A partial proper edge coloring over palette ``{1..num_colors}``."""
+
+    def __init__(self, n: int, num_colors: int) -> None:
+        if num_colors < 0:
+            raise ValueError(f"palette size must be non-negative, got {num_colors}")
+        self.n = n
+        self.num_colors = num_colors
+        self._edge_color: dict[Edge, int] = {}
+        self._at: list[dict[int, int]] = [{} for _ in range(n)]
+
+    # -- queries ----------------------------------------------------------
+
+    def color_of(self, u: int, v: int) -> int | None:
+        """Color of edge ``{u, v}`` or None if uncolored."""
+        return self._edge_color.get(canonical_edge(u, v))
+
+    def neighbor_via(self, v: int, color: int) -> int | None:
+        """The neighbor reached from ``v`` along its ``color`` edge, if any."""
+        return self._at[v].get(color)
+
+    def is_free(self, v: int, color: int) -> bool:
+        """True if no colored edge at ``v`` uses ``color``."""
+        return color not in self._at[v]
+
+    def free_colors(self, v: int) -> Iterator[int]:
+        """Palette colors unused at ``v``, in increasing order."""
+        used = self._at[v]
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                yield color
+
+    def some_free_color(self, v: int) -> int | None:
+        """The smallest free color at ``v`` (None if the palette is saturated)."""
+        return next(self.free_colors(v), None)
+
+    def colors(self) -> dict[Edge, int]:
+        """A copy of the full edge-color assignment."""
+        return dict(self._edge_color)
+
+    def colored_edge_count(self) -> int:
+        """Number of edges currently colored."""
+        return len(self._edge_color)
+
+    # -- mutation ---------------------------------------------------------
+
+    def assign(self, u: int, v: int, color: int) -> None:
+        """Color ``{u, v}`` with ``color``; the edge must be uncolored and
+        the color free at both endpoints."""
+        if not 1 <= color <= self.num_colors:
+            raise ValueError(f"color {color} outside palette [1..{self.num_colors}]")
+        edge = canonical_edge(u, v)
+        if edge in self._edge_color:
+            raise ValueError(f"edge {edge} already colored")
+        if color in self._at[u] or color in self._at[v]:
+            raise ValueError(f"color {color} not free at an endpoint of {edge}")
+        self._edge_color[edge] = color
+        self._at[u][color] = v
+        self._at[v][color] = u
+
+    def unassign(self, u: int, v: int) -> int:
+        """Remove the color of ``{u, v}`` and return it."""
+        edge = canonical_edge(u, v)
+        color = self._edge_color.pop(edge)
+        del self._at[u][color]
+        del self._at[v][color]
+        return color
+
+    def recolor(self, u: int, v: int, color: int) -> None:
+        """Atomically change the color of a colored edge."""
+        self.unassign(u, v)
+        self.assign(u, v, color)
+
+    def invert_kempe_path(self, start: int, alpha: int, beta: int) -> list[int]:
+        """Flip colors along the maximal α/β path starting at ``start``.
+
+        Returns the vertices of the path in order (starting at ``start``).
+        ``start`` must be incident to at most one of the two colors, so the
+        path is well defined; interior vertices see both colors before and
+        after, so properness is preserved and only the two endpoints' free
+        sets change.
+        """
+        if alpha == beta:
+            raise ValueError("Kempe path needs two distinct colors")
+        if alpha in self._at[start] and beta in self._at[start]:
+            raise ValueError(f"vertex {start} has both colors {alpha}/{beta}")
+        path_vertices = [start]
+        path_edges: list[tuple[int, int, int]] = []
+        current = start
+        want = beta if beta in self._at[start] else alpha
+        previous = None
+        while True:
+            nxt = self._at[current].get(want)
+            if nxt is None or nxt == previous:
+                break
+            path_edges.append((current, nxt, want))
+            path_vertices.append(nxt)
+            previous, current = current, nxt
+            want = alpha if want == beta else beta
+        for u, v, color in path_edges:
+            self.unassign(u, v)
+        for u, v, color in path_edges:
+            self.assign(u, v, alpha if color == beta else beta)
+        return path_vertices

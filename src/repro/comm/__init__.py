@@ -1,0 +1,64 @@
+"""Two-party communication substrate: bits, messages, rounds, randomness.
+
+This package is the "model of computation" the paper assumes — Yao's
+two-party model over an edge-partitioned graph with public randomness and
+simultaneous-exchange rounds — implemented as a deterministic lockstep
+simulator with exact bit accounting.
+"""
+
+from .codecs import (
+    decode_bounded_count,
+    decode_color_vector,
+    decode_cover_payload,
+    decode_edge_list,
+    decode_flag_bitmap,
+    encode_bounded_count,
+    encode_color_vector,
+    encode_cover_payload,
+    encode_edge_list,
+    encode_flag_bitmap,
+)
+from .bits import (
+    BitReader,
+    BitWriter,
+    bit_length,
+    bitmap_cost,
+    gamma_cost,
+    uint_cost,
+    uint_width,
+)
+from .ledger import PhaseStats, Transcript
+from .messages import BatchMsg, Msg
+from .parallel import compose_parallel
+from .randomness import PublicRandomness, newman_overhead_bits, split_rng
+from .runner import ProtocolDesyncError, run_protocol
+
+__all__ = [
+    "BatchMsg",
+    "BitReader",
+    "BitWriter",
+    "Msg",
+    "PhaseStats",
+    "ProtocolDesyncError",
+    "PublicRandomness",
+    "Transcript",
+    "bit_length",
+    "bitmap_cost",
+    "compose_parallel",
+    "decode_bounded_count",
+    "decode_color_vector",
+    "decode_cover_payload",
+    "decode_edge_list",
+    "decode_flag_bitmap",
+    "encode_bounded_count",
+    "encode_color_vector",
+    "encode_cover_payload",
+    "encode_edge_list",
+    "encode_flag_bitmap",
+    "gamma_cost",
+    "newman_overhead_bits",
+    "run_protocol",
+    "split_rng",
+    "uint_cost",
+    "uint_width",
+]

@@ -1,0 +1,162 @@
+"""Concrete wire codecs for the payload types the protocols exchange.
+
+Protocols declare message sizes via the cost helpers in
+:mod:`repro.comm.bits`; this module closes the loop by actually encoding
+and decoding each payload shape to a bit stream of exactly the declared
+length.  The test suite samples real messages out of protocol runs and
+round-trips them here, so a protocol cannot under-declare its
+communication.
+
+Payload shapes covered (everything the paper's protocols send):
+
+* bounded counts (``|S ∩ X|`` in k-Slack-Int) — fixed width;
+* confirmation bitmaps (Random-Color-Trial) and availability masks
+  (Algorithm 2);
+* edge lists (D1LC gather, baselines) — gamma-coded length + fixed-width
+  endpoints;
+* packed color vectors (D1LC broadcast) — fixed width per color;
+* cover messages (Lemma 5.4) — gamma-coded round count, per-round color id
+  + shrinking bitmaps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .bits import BitReader, BitWriter, gamma_cost, uint_cost
+
+__all__ = [
+    "decode_bounded_count",
+    "decode_color_vector",
+    "decode_cover_payload",
+    "decode_edge_list",
+    "decode_flag_bitmap",
+    "encode_bounded_count",
+    "encode_color_vector",
+    "encode_cover_payload",
+    "encode_edge_list",
+    "encode_flag_bitmap",
+]
+
+
+# -- bounded counts ---------------------------------------------------------
+
+
+def encode_bounded_count(value: int, bound: int) -> list[int]:
+    """Encode ``value ∈ [0, bound]`` in exactly ``uint_cost(bound)`` bits."""
+    writer = BitWriter()
+    writer.write_uint(value, uint_cost(bound))
+    return writer.to_bits()
+
+
+def decode_bounded_count(bits: Sequence[int], bound: int) -> int:
+    """Inverse of :func:`encode_bounded_count`."""
+    return BitReader(bits).read_uint(uint_cost(bound))
+
+
+# -- flag bitmaps -----------------------------------------------------------
+
+
+def encode_flag_bitmap(flags: Sequence[bool]) -> list[int]:
+    """One bit per flag — confirmation bits, degree bitmaps, masks."""
+    writer = BitWriter()
+    writer.write_bitmap(flags)
+    return writer.to_bits()
+
+
+def decode_flag_bitmap(bits: Sequence[int], length: int) -> list[bool]:
+    """Inverse of :func:`encode_flag_bitmap`."""
+    return BitReader(bits).read_bitmap(length)
+
+
+# -- edge lists -------------------------------------------------------------
+
+
+def edge_list_cost(num_edges: int, n: int) -> int:
+    """Declared size of an edge-list message on ``n`` vertices."""
+    return gamma_cost(num_edges + 1) + num_edges * 2 * uint_cost(max(n - 1, 1))
+
+
+def encode_edge_list(edges: Sequence[tuple[int, int]], n: int) -> list[int]:
+    """Gamma-coded count followed by fixed-width endpoint pairs."""
+    writer = BitWriter()
+    writer.write_gamma(len(edges) + 1)
+    width = uint_cost(max(n - 1, 1))
+    for u, v in edges:
+        writer.write_uint(u, width)
+        writer.write_uint(v, width)
+    return writer.to_bits()
+
+
+def decode_edge_list(bits: Sequence[int], n: int) -> list[tuple[int, int]]:
+    """Inverse of :func:`encode_edge_list`."""
+    reader = BitReader(bits)
+    count = reader.read_gamma() - 1
+    width = uint_cost(max(n - 1, 1))
+    return [(reader.read_uint(width), reader.read_uint(width)) for _ in range(count)]
+
+
+# -- packed color vectors ---------------------------------------------------
+
+
+def encode_color_vector(colors: Sequence[int], num_colors: int) -> list[int]:
+    """Fixed-width colors in list order (the order is common knowledge)."""
+    writer = BitWriter()
+    width = uint_cost(num_colors)
+    for color in colors:
+        writer.write_uint(color, width)
+    return writer.to_bits()
+
+
+def decode_color_vector(bits: Sequence[int], count: int, num_colors: int) -> list[int]:
+    """Inverse of :func:`encode_color_vector`."""
+    reader = BitReader(bits)
+    width = uint_cost(num_colors)
+    return [reader.read_uint(width) for _ in range(count)]
+
+
+# -- Lemma 5.4 cover messages ------------------------------------------------
+
+
+def encode_cover_payload(
+    colors: Sequence[int],
+    bitmaps: Sequence[Sequence[bool]],
+    max_color: int,
+) -> list[int]:
+    """Gamma-coded round count, then per round a color id and its bitmap.
+
+    Bitmap lengths are implied (the receiver tracks the uncovered set), so
+    they are not transmitted — matching
+    :func:`repro.core.cover_colors.build_cover_message`'s declared cost.
+    """
+    writer = BitWriter()
+    writer.write_gamma(len(colors) + 1)
+    width = uint_cost(max_color)
+    for color, flags in zip(colors, bitmaps):
+        writer.write_uint(color, width)
+        writer.write_bitmap(flags)
+    return writer.to_bits()
+
+
+def decode_cover_payload(
+    bits: Sequence[int],
+    first_length: int,
+    max_color: int,
+) -> tuple[list[int], list[list[bool]]]:
+    """Inverse of :func:`encode_cover_payload`.
+
+    ``first_length`` is the initial uncovered-set size; each round's bitmap
+    length equals the previous round's count of ``False`` flags.
+    """
+    reader = BitReader(bits)
+    rounds = reader.read_gamma() - 1
+    width = uint_cost(max_color)
+    colors: list[int] = []
+    bitmaps: list[list[bool]] = []
+    length = first_length
+    for _ in range(rounds):
+        colors.append(reader.read_uint(width))
+        flags = reader.read_bitmap(length)
+        bitmaps.append(flags)
+        length = sum(1 for f in flags if not f)
+    return colors, bitmaps

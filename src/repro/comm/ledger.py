@@ -1,0 +1,109 @@
+"""Transcript accounting: bits per direction, rounds, per-phase breakdown.
+
+The :class:`Transcript` is the measurement instrument of the whole library.
+Every run of a protocol produces one; every experiment in ``benchmarks/``
+reports numbers read off it.  Phases let a composite protocol (e.g. the
+Theorem 1 pipeline) attribute costs to its stages (random color trial,
+sparsification, gather, ...).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["PhaseStats", "Transcript"]
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated cost of one named phase of a protocol."""
+
+    bits_alice_to_bob: int = 0
+    bits_bob_to_alice: int = 0
+    rounds: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        """Bits exchanged in both directions within the phase."""
+        return self.bits_alice_to_bob + self.bits_bob_to_alice
+
+
+class Transcript:
+    """Mutable record of the communication cost of a protocol execution."""
+
+    def __init__(self) -> None:
+        self.bits_alice_to_bob = 0
+        self.bits_bob_to_alice = 0
+        self.rounds = 0
+        self.messages = 0
+        #: Per-round (alice→bob, bob→alice) bit pairs, in round order —
+        #: the raw material for round-profile experiments.
+        self.round_log: list[tuple[int, int]] = []
+        self._phases: dict[str, PhaseStats] = {}
+        self._active_phases: list[str] = []
+
+    @property
+    def total_bits(self) -> int:
+        """Bits exchanged in both directions over the whole execution."""
+        return self.bits_alice_to_bob + self.bits_bob_to_alice
+
+    @property
+    def phases(self) -> dict[str, PhaseStats]:
+        """Per-phase statistics keyed by phase name."""
+        return dict(self._phases)
+
+    def phase_stats(self, name: str) -> PhaseStats:
+        """Statistics for phase ``name`` (zeros if the phase never ran)."""
+        return self._phases.get(name, PhaseStats())
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Attribute all costs recorded inside the block to ``name``.
+
+        Phases may nest; costs are attributed to every active phase, so an
+        outer phase sees the sum of its inner phases plus its own traffic.
+        """
+        stats = self._phases.setdefault(name, PhaseStats())
+        self._active_phases.append(name)
+        try:
+            yield stats
+        finally:
+            popped = self._active_phases.pop()
+            if popped != name:  # pragma: no cover - defensive
+                raise RuntimeError(f"phase nesting corrupted: {popped} != {name}")
+
+    def record_round(self, bits_a_to_b: int, bits_b_to_a: int) -> None:
+        """Record one simultaneous exchange round."""
+        if bits_a_to_b < 0 or bits_b_to_a < 0:
+            raise ValueError("bit counts must be non-negative")
+        self.rounds += 1
+        self.bits_alice_to_bob += bits_a_to_b
+        self.bits_bob_to_alice += bits_b_to_a
+        self.round_log.append((bits_a_to_b, bits_b_to_a))
+        if bits_a_to_b:
+            self.messages += 1
+        if bits_b_to_a:
+            self.messages += 1
+        for name in self._active_phases:
+            stats = self._phases[name]
+            stats.rounds += 1
+            stats.bits_alice_to_bob += bits_a_to_b
+            stats.bits_bob_to_alice += bits_b_to_a
+
+    def summary(self) -> dict[str, int]:
+        """Headline numbers as a plain dict (for tables and logs)."""
+        return {
+            "total_bits": self.total_bits,
+            "bits_alice_to_bob": self.bits_alice_to_bob,
+            "bits_bob_to_alice": self.bits_bob_to_alice,
+            "rounds": self.rounds,
+            "messages": self.messages,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Transcript(total_bits={self.total_bits}, rounds={self.rounds}, "
+            f"messages={self.messages})"
+        )

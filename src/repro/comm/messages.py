@@ -1,0 +1,58 @@
+"""Message containers exchanged by two-party protocols.
+
+A :class:`Msg` carries an arbitrary payload plus a *declared* size in bits.
+Declared sizes must come from the cost helpers in :mod:`repro.comm.bits`, so
+that they correspond to a concrete encoding.  ``Msg.empty()`` is the silent
+message a party sends in a round where it has nothing to say.
+
+:class:`BatchMsg` groups per-sub-protocol messages when many sub-protocols
+(e.g. one per vertex) share communication rounds; its size is the sum of the
+sub-messages.  No addressing overhead is charged: the schedule of
+sub-protocols is common knowledge to both parties, exactly as in the paper's
+parallel composition of Color-Sample instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["BatchMsg", "Msg"]
+
+
+@dataclass(frozen=True)
+class Msg:
+    """A single protocol message with a declared bit cost."""
+
+    nbits: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbits < 0:
+            raise ValueError(f"message size must be non-negative, got {self.nbits}")
+
+    @staticmethod
+    def empty() -> "Msg":
+        """A zero-bit message (silence in a simultaneous round)."""
+        return Msg(0, None)
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the message carries no bits."""
+        return self.nbits == 0
+
+
+@dataclass(frozen=True)
+class BatchMsg:
+    """A bundle of sub-protocol messages sharing one communication round."""
+
+    parts: dict[Any, Msg] = field(default_factory=dict)
+
+    @property
+    def nbits(self) -> int:
+        """Total declared bits across all sub-messages."""
+        return sum(msg.nbits for msg in self.parts.values())
+
+    def get(self, key: Any) -> Msg:
+        """Message addressed to sub-protocol ``key`` (empty if absent)."""
+        return self.parts.get(key, Msg.empty())

@@ -1,0 +1,79 @@
+"""Parallel composition of per-vertex sub-protocols in shared rounds.
+
+The paper runs one Color-Sample instance per active vertex *in parallel*
+within each iteration of ``Random-Color-Trial``: the iteration's round cost
+is the maximum round count of any sub-protocol, and its bit cost is the sum.
+:func:`compose_parallel` realizes exactly that semantics: it merges a keyed
+family of party generators into a single party generator whose per-round
+message is a :class:`~repro.comm.messages.BatchMsg` bundling all live
+sub-protocols' messages.
+
+Both parties must compose the *same* key set in the same round (the set of
+active vertices is common knowledge in every protocol of the paper), and the
+two sides of each sub-protocol must terminate in the same round — enforced
+downstream by the lockstep runner through the batch structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Mapping
+
+from .messages import BatchMsg, Msg
+
+__all__ = ["compose_parallel"]
+
+PartyGen = Generator[Msg, Msg, Any]
+BatchGen = Generator[Msg, Msg, dict[Hashable, Any]]
+
+_SENTINEL = object()
+
+
+def _start(gen: PartyGen) -> tuple[Msg | None, Any]:
+    try:
+        return next(gen), _SENTINEL
+    except StopIteration as stop:
+        return None, stop.value
+
+
+def _step(gen: PartyGen, incoming: Msg) -> tuple[Msg | None, Any]:
+    try:
+        return gen.send(incoming), _SENTINEL
+    except StopIteration as stop:
+        return None, stop.value
+
+
+def compose_parallel(subprotocols: Mapping[Hashable, PartyGen]) -> BatchGen:
+    """Merge keyed sub-protocols into one generator sharing rounds.
+
+    Returns a party generator that yields :class:`BatchMsg` objects (which
+    quack like :class:`Msg` for bit accounting) and returns a dict mapping
+    each key to its sub-protocol's return value.  Sub-protocols that finish
+    early simply stop contributing to later batches.
+    """
+    results: dict[Hashable, Any] = {}
+    live: dict[Hashable, PartyGen] = {}
+    outgoing: dict[Hashable, Msg] = {}
+
+    for key, gen in subprotocols.items():
+        msg, result = _start(gen)
+        if msg is None:
+            results[key] = result
+        else:
+            live[key] = gen
+            outgoing[key] = msg
+
+    while live:
+        incoming = yield BatchMsg(dict(outgoing))
+        if not isinstance(incoming, BatchMsg):
+            raise TypeError(
+                f"parallel composition expects BatchMsg from peer, got {type(incoming).__name__}"
+            )
+        outgoing = {}
+        for key in list(live):
+            msg, result = _step(live[key], incoming.get(key))
+            if msg is None:
+                results[key] = result
+                del live[key]
+            else:
+                outgoing[key] = msg
+    return results

@@ -1,0 +1,108 @@
+"""Shared (public) and private randomness for two-party protocols.
+
+The paper's protocols assume public randomness (Section 3.1): both parties
+observe the same random tape.  :class:`PublicRandomness` models the tape as a
+seeded :class:`random.Random` both parties read in the same order — reads are
+part of the protocol schedule, which is common knowledge, so both parties
+always agree on every public draw without communication.
+
+``Newman's theorem`` [New91] lets public randomness be replaced by private
+randomness at an additive ``O(log n + log(1/δ))`` communication cost;
+:func:`newman_overhead_bits` reports that surcharge so experiments can quote
+private-coin costs too.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from collections.abc import Sequence
+from typing import TypeVar
+
+__all__ = ["PublicRandomness", "newman_overhead_bits", "split_rng"]
+
+T = TypeVar("T")
+
+
+class PublicRandomness:
+    """A shared random tape read identically by Alice and Bob."""
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._rng = random.Random(seed)
+        self.draws = 0
+
+    def coin(self, p: float = 0.5) -> bool:
+        """One public coin flip with success probability ``p``."""
+        self.draws += 1
+        return self._rng.random() < p
+
+    def uniform_int(self, low: int, high: int) -> int:
+        """A public uniform integer in ``[low, high]`` inclusive."""
+        self.draws += 1
+        return self._rng.randint(low, high)
+
+    def permutation(self, m: int) -> list[int]:
+        """A public uniform permutation of ``range(m)``."""
+        self.draws += 1
+        perm = list(range(m))
+        self._rng.shuffle(perm)
+        return perm
+
+    def sample_mask(self, m: int, p: float) -> list[bool]:
+        """Include each of ``m`` positions independently with probability ``p``."""
+        self.draws += 1
+        if p >= 1.0:
+            return [True] * m
+        if p <= 0.0:
+            return [False] * m
+        rnd = self._rng.random
+        return [rnd() < p for _ in range(m)]
+
+    def choice(self, items: Sequence[T]) -> T:
+        """A public uniform element of a non-empty sequence."""
+        self.draws += 1
+        return self._rng.choice(items)
+
+    def shuffled(self, items: Sequence[T]) -> list[T]:
+        """A public uniform shuffle of ``items`` (original left untouched)."""
+        self.draws += 1
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def spawn(self, label: str) -> "PublicRandomness":
+        """Derive an independent public tape for a labelled sub-protocol.
+
+        Both parties derive the same child tape because the label and the
+        parent seed state are common knowledge.  Uses a stable (CRC-based)
+        label hash so runs are reproducible across processes.
+        """
+        self.draws += 1
+        child_seed = self._rng.getrandbits(64) ^ _stable_hash(label)
+        return PublicRandomness(child_seed)
+
+
+def _stable_hash(label: str) -> int:
+    """A process-independent 64-bit hash of a label."""
+    data = label.encode("utf-8")
+    return (zlib.crc32(data) << 32) | zlib.crc32(data[::-1])
+
+
+def split_rng(rng: random.Random, label: str) -> random.Random:
+    """Derive an independent private RNG stream for a labelled subtask."""
+    seed = rng.getrandbits(64) ^ _stable_hash(label)
+    return random.Random(seed)
+
+
+def newman_overhead_bits(n: int, delta: float = 0.01) -> int:
+    """Additive cost of replacing public with private coins [New91].
+
+    ``O(log n + log(1/δ))`` bits, where ``δ`` bounds the extra failure
+    probability.  Returned with constant 1 for concreteness.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0,1), got {delta}")
+    return math.ceil(math.log2(n)) + math.ceil(math.log2(1.0 / delta))

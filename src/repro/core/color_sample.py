@@ -1,0 +1,63 @@
+"""``Color-Sample`` — sample an available color uniformly (Lemma 3.1).
+
+Setting: a partial proper vertex coloring is common knowledge; for an
+uncolored vertex ``v``, Alice knows the set ``A`` of colors used in her
+neighborhood ``N_A(v)`` and Bob knows ``B`` for ``N_B(v)``.  An *available*
+color is any element of ``[Δ+1] \\ (A ∪ B)``.
+
+The protocol is Algorithm 3 run on a publicly permuted palette: both parties
+apply a shared random permutation to ``[Δ+1]`` and execute the randomized
+``k``-Slack-Int search on the permuted positions.  Since the search does not
+favor any position pattern and the permutation is uniform, the returned
+color is uniform over the available colors (Lemma 3.1), and it is common
+knowledge (i).  Expected cost is ``O(log²((Δ+1)/k))`` bits over
+``O(log((Δ+1)/k))`` rounds (ii–iii), worst case ``O(log² Δ)`` / ``O(log Δ)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set
+from typing import Any, Generator
+
+from ..comm.messages import Msg
+from ..comm.randomness import PublicRandomness
+from .slack import randomized_slack_party
+
+__all__ = ["color_sample_party"]
+
+PartyGen = Generator[Msg, Msg, Any]
+
+
+def color_sample_party(
+    num_colors: int,
+    own_used: Set[int],
+    pub: PublicRandomness,
+    sampling_constant: int | None = None,
+) -> PartyGen:
+    """One party's side of Color-Sample.
+
+    ``num_colors`` is the palette size ``m = Δ+1``; ``own_used`` is this
+    party's set of colors (1-based, subset of ``[1..m]``) occupied in its
+    side of the neighborhood.  Returns the sampled available color
+    (1-based).  Both parties must pass the *same* ``pub`` stream state.
+    ``sampling_constant`` overrides Algorithm 3's ``C`` (default 150) for
+    ablation studies.
+    """
+    if num_colors < 1:
+        raise ValueError(f"palette must be non-empty, got {num_colors}")
+    bad = [c for c in own_used if not 1 <= c <= num_colors]
+    if bad:
+        raise ValueError(f"used colors outside palette [1..{num_colors}]: {bad[:3]}")
+
+    # Public uniform relabeling of the palette: position -> color.
+    position_to_color = pub.permutation(num_colors)
+    color_to_position = {color: pos for pos, color in enumerate(position_to_color)}
+    own_positions = {color_to_position[c - 1] for c in own_used}
+
+    if sampling_constant is None:
+        position = yield from randomized_slack_party(num_colors, own_positions, pub)
+    else:
+        position = yield from randomized_slack_party(
+            num_colors, own_positions, pub, constant=sampling_constant
+        )
+    return position_to_color[position] + 1

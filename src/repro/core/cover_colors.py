@@ -1,0 +1,96 @@
+"""The cover-colors protocol of Lemma 5.4.
+
+One party (say Bob) must let Alice learn, for every vertex ``v`` with
+``deg_B(v) ≤ Δ/2``, one color of Bob's palette still available at ``v``
+under Bob's local coloring — using ``O(n)`` bits and a single message.
+
+Bob's construction: since each low-degree vertex has ``≥ (Δ−1)/3`` of his
+``Δ−1`` palette colors available, a double-counting argument yields a color
+available for ``≥ 1/3`` of any set of low-degree vertices.  Bob greedily
+picks such colors; the ``i``-th pick comes with a bitmap over the still
+uncovered vertices, so total bitmap length is a geometric series ``≤ 3n``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from ..comm.bits import gamma_cost, uint_cost
+
+__all__ = ["CoverMessage", "build_cover_message", "decode_cover_message"]
+
+
+@dataclass(frozen=True)
+class CoverMessage:
+    """The one-shot message of Lemma 5.4.
+
+    ``colors[i]`` is the ``i``-th cover color; ``bitmaps[i]`` flags, over
+    the vertices still uncovered before round ``i`` (in sorted order),
+    which of them this color covers.
+    """
+
+    colors: tuple[int, ...]
+    bitmaps: tuple[tuple[bool, ...], ...]
+    nbits: int
+
+
+def build_cover_message(
+    low_vertices: Sequence[int],
+    available: Mapping[int, set[int]],
+    palette: Sequence[int],
+) -> CoverMessage:
+    """Greedy third-covering of the low-degree vertices' available colors.
+
+    ``available[v]`` must be non-empty for every low vertex (guaranteed by
+    the degree bound, Lemma 5.4).  Raises ``ValueError`` if some vertex has
+    no available color — a protocol-logic bug upstream.
+    """
+    uncovered = sorted(low_vertices)
+    for v in uncovered:
+        if not available[v]:
+            raise ValueError(f"vertex {v} has no available palette color")
+    colors: list[int] = []
+    bitmaps: list[tuple[bool, ...]] = []
+    nbits = 0
+    while uncovered:
+        best_color, best_count = None, -1
+        for color in palette:
+            count = sum(1 for v in uncovered if color in available[v])
+            if count > best_count:
+                best_color, best_count = color, count
+        if best_color is None or best_count == 0:
+            raise ValueError("no palette color covers any uncovered vertex")
+        flags = tuple(best_color in available[v] for v in uncovered)
+        colors.append(best_color)
+        bitmaps.append(flags)
+        nbits += uint_cost(max(palette)) + len(flags)
+        uncovered = [v for v, hit in zip(uncovered, flags) if not hit]
+    nbits += gamma_cost(len(colors) + 1)  # announce the number of rounds
+    return CoverMessage(tuple(colors), tuple(bitmaps), nbits)
+
+
+def decode_cover_message(
+    low_vertices: Sequence[int],
+    message: CoverMessage,
+) -> dict[int, int]:
+    """Recover the vertex → color assignment from a cover message.
+
+    ``low_vertices`` must be the same set the sender used (it is common
+    knowledge after the degree bitmaps are exchanged in Algorithm 2).
+    """
+    uncovered = sorted(low_vertices)
+    assignment: dict[int, int] = {}
+    for color, flags in zip(message.colors, message.bitmaps):
+        if len(flags) != len(uncovered):
+            raise ValueError("cover message bitmap length mismatch")
+        remaining = []
+        for v, hit in zip(uncovered, flags):
+            if hit:
+                assignment[v] = color
+            else:
+                remaining.append(v)
+        uncovered = remaining
+    if uncovered:
+        raise ValueError(f"cover message leaves vertices uncovered: {uncovered[:3]}")
+    return assignment

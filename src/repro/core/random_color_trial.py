@@ -1,0 +1,111 @@
+"""``Random-Color-Trial`` — Algorithm 1 of the paper (Lemma 4.1).
+
+Each iteration, every *active* (uncolored) vertex flips a public coin; awake
+vertices sample an available color uniformly via parallel Color-Sample
+instances (sharing rounds: the iteration's round cost is the max over the
+instances, its bit cost the sum), then the parties exchange one confirmation
+bit per awake vertex reporting whether any of *their* neighbors tried the
+same color.  A vertex keeps its color iff both sides confirm.
+
+Guarantees (Lemma 4.1): expected ``O(n/log⁴ n)`` vertices stay uncolored
+after ``⌈1 + 4·log_{24/23} log n⌉`` iterations, expected ``O(n)`` bits, and
+``O(log log n · log Δ)`` worst-case rounds.
+
+The trial colors and confirmations are common knowledge, so both parties
+always agree on the active set; in particular they can stop early once it
+is empty (a free optimization the paper's fixed iteration count dominates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator
+
+from ..comm.bits import bitmap_cost
+from ..comm.messages import Msg
+from ..comm.parallel import compose_parallel
+from ..comm.randomness import PublicRandomness
+from ..graphs.graph import Graph
+from .color_sample import color_sample_party
+
+__all__ = ["paper_iteration_count", "random_color_trial_party"]
+
+PartyGen = Generator[Msg, Msg, Any]
+
+#: Per-iteration success-probability bound of Lemma 4.2 is 1/24, giving the
+#: decay base 24/23 used in the paper's iteration count.
+DECAY_BASE = 24.0 / 23.0
+
+
+def paper_iteration_count(n: int) -> int:
+    """The paper's iteration budget ``⌈1 + 4·log_{24/23} log₂ n⌉``."""
+    if n < 2:
+        return 1
+    loglog = math.log2(n)
+    if loglog <= 1.0:
+        return 1
+    return math.ceil(1 + 4 * math.log(loglog, DECAY_BASE))
+
+
+def random_color_trial_party(
+    own_graph: Graph,
+    num_colors: int,
+    pub: PublicRandomness,
+    max_iterations: int | None = None,
+    active_history: list[int] | None = None,
+) -> Generator[Msg, Msg, tuple[dict[int, int], list[int]]]:
+    """One party's side of Random-Color-Trial.
+
+    ``own_graph`` is this party's local graph (all ``n`` vertices, its own
+    edges); ``num_colors`` is the public palette size ``Δ+1``.  Returns the
+    common-knowledge partial coloring and the sorted list of still-active
+    vertices.  If ``active_history`` is given, the active-set size at the
+    start of each iteration is appended to it (instrumentation for the
+    Lemma 4.3 decay experiment; it does not affect the protocol).
+    """
+    n = own_graph.n
+    iterations = paper_iteration_count(n) if max_iterations is None else max_iterations
+    colors: dict[int, int] = {}
+    active = list(range(n))
+
+    for iteration in range(iterations):
+        if active_history is not None:
+            active_history.append(len(active))
+        if not active:
+            break
+        # Public per-vertex participation coins (no communication).
+        awake = [v for v in active if pub.coin(0.5)]
+        if not awake:
+            continue
+
+        samplers = {}
+        for v in awake:
+            own_used = {colors[u] for u in own_graph.neighbors(v) if u in colors}
+            samplers[v] = color_sample_party(
+                num_colors, own_used, pub.spawn(f"rct-{iteration}-{v}")
+            )
+        chosen: dict[int, int] = yield from compose_parallel(samplers)
+
+        # One confirmation bit per awake vertex: "no conflict on my side".
+        awake_set = set(awake)
+        own_ok = tuple(
+            all(
+                chosen.get(u) != chosen[v]
+                for u in own_graph.neighbors(v)
+                if u in awake_set
+            )
+            for v in awake
+        )
+        reply = yield Msg(bitmap_cost(len(awake)), own_ok)
+        peer_ok = reply.payload
+
+        still_active = []
+        for idx, v in enumerate(awake):
+            if own_ok[idx] and peer_ok[idx]:
+                colors[v] = chosen[v]
+            else:
+                still_active.append(v)
+        awake_survivors = set(still_active)
+        active = [v for v in active if v not in awake_set or v in awake_survivors]
+
+    return colors, active

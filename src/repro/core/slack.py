@@ -1,0 +1,127 @@
+"""Protocols for ``k``-Slack-Int (Problem 6, Appendix A).
+
+Given sets ``X`` (Alice) and ``Y`` (Bob) over a common ground list with
+``|X| + |Y| ≤ m − k`` for some ``k ≥ 1``, find an element of the ground set
+outside ``X ∪ Y``:
+
+* :func:`slack_find_party` — the deterministic binary-search protocol of
+  Lemma A.1: ``O(log² m)`` bits, ``O(log m)`` rounds.
+* :func:`randomized_slack_party` — Algorithm 3 (Lemma A.2): exponentially
+  decreasing guesses ``k̃`` with public sub-sampling; expected
+  ``O(log²((m+1)/k))`` bits and ``O(log((m+1)/k))`` rounds.
+
+Both are written as *single* generator functions usable by either party:
+each round both parties send the count of their own set inside the probed
+interval, so Alice's and Bob's programs are literally identical.  The
+element found is common knowledge by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence, Set
+from typing import Any, Generator
+
+from ..comm.bits import uint_cost
+from ..comm.messages import Msg
+from ..comm.randomness import PublicRandomness
+
+__all__ = ["randomized_slack_party", "slack_find_party"]
+
+PartyGen = Generator[Msg, Msg, Any]
+
+#: Constant from Algorithm 3's sampling probability ``p = min(1, C·m/k̃²)``.
+SAMPLING_CONSTANT = 150
+
+
+def slack_find_party(
+    ground: Sequence[int],
+    own: Set[int],
+    own_count: int | None = None,
+    peer_count: int | None = None,
+) -> PartyGen:
+    """Deterministic binary search for an element outside both sets (Lemma A.1).
+
+    ``ground`` is the publicly known candidate list (identical on both
+    sides, same order).  If the parties already exchanged their counts over
+    the full ground set (as Algorithm 3 does), pass them to skip the
+    opening round.  The invariant ``|I| − a − b ≥ 1`` guarantees a "free"
+    element in the current interval ``I``; we recurse into the half whose
+    lower bound stays positive.
+    """
+    lo, hi = 0, len(ground)
+    if own_count is None or peer_count is None:
+        own_count = sum(1 for e in ground if e in own)
+        reply = yield Msg(uint_cost(len(ground)), own_count)
+        peer_count = reply.payload
+    slack = (hi - lo) - own_count - peer_count
+    if slack < 1:
+        raise ValueError("no guaranteed free element: |I| - a - b < 1")
+
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        own_left = sum(1 for i in range(lo, mid) if ground[i] in own)
+        reply = yield Msg(uint_cost(mid - lo), own_left)
+        peer_left = reply.payload
+        left_slack = (mid - lo) - own_left - peer_left
+        if left_slack >= 1:
+            hi = mid
+            slack = left_slack
+        else:
+            lo = mid
+            slack = slack - left_slack
+    return ground[lo]
+
+
+def guess_schedule(m: int) -> list[int]:
+    """Algorithm 3's exponentially decreasing guesses ``m, m/2, …, 1``."""
+    guesses = []
+    k_tilde = m
+    while k_tilde >= 1:
+        guesses.append(k_tilde)
+        if k_tilde == 1:
+            break
+        k_tilde //= 2
+    return guesses
+
+
+def sampling_probability(m: int, k_tilde: int, constant: int = SAMPLING_CONSTANT) -> float:
+    """Algorithm 3's inclusion probability ``p = min(1, C·m/k̃²)``."""
+    return min(1.0, constant * m / (k_tilde * k_tilde))
+
+
+def randomized_slack_party(
+    m: int,
+    own: Set[int],
+    pub: PublicRandomness,
+    constant: int = SAMPLING_CONSTANT,
+) -> PartyGen:
+    """Algorithm 3: randomized ``k``-Slack-Int over the ground set ``range(m)``.
+
+    Requires the problem precondition ``|X| + |Y| ≤ m − 1`` (there is a free
+    element); in the coloring application this holds because the two
+    neighborhoods are disjoint.  Terminates at the latest once the sampling
+    probability saturates at 1 (then ``S = [m]`` and the condition
+    ``|S∩X| + |S∩Y| < |S|`` is exactly the precondition).
+
+    ``constant`` is Algorithm 3's sampling constant ``C`` (paper: 150);
+    the E14 ablation sweeps it to show the cost/failure trade-off.
+    """
+    if m < 1:
+        raise ValueError(f"ground size must be positive, got {m}")
+    if constant < 1:
+        raise ValueError(f"sampling constant must be >= 1, got {constant}")
+    for k_tilde in guess_schedule(m):
+        mask = pub.sample_mask(m, sampling_probability(m, k_tilde, constant))
+        sample = [i for i in range(m) if mask[i]]
+        own_count = sum(1 for i in sample if i in own)
+        reply = yield Msg(uint_cost(len(sample)), own_count)
+        peer_count = reply.payload
+        if own_count + peer_count < len(sample):
+            result = yield from slack_find_party(
+                sample, own, own_count=own_count, peer_count=peer_count
+            )
+            return result
+    raise RuntimeError(
+        "Algorithm 3 exhausted its guesses; the k-Slack-Int precondition "
+        "|X|+|Y| <= m-1 must have been violated"
+    )

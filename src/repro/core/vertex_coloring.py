@@ -1,0 +1,157 @@
+"""The full ``(Δ+1)``-vertex coloring protocol — Theorem 1.
+
+Pipeline (Section 4.4):
+
+1. **Random-Color-Trial** (Algorithm 1) colors all but an expected
+   ``O(n/log⁴ n)`` vertices.
+2. The leftover uncolored set ``Z`` induces a **D1LC instance**: each party
+   derives its list ``Ψ_X(v) = [Δ+1] \\ (colors used in its side of the
+   neighborhood)``; the intersection exceeds the leftover degree.
+3. The **D1LC protocol** (Lemma 3.3) colors ``Z``.
+
+Total: ``O(n)`` expected bits, ``O(log log n · log Δ)`` worst-case rounds.
+
+The module exposes both the raw party generators (for protocol composition)
+and :func:`run_vertex_coloring`, the measured driver every experiment uses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..comm.ledger import Transcript
+from ..comm.randomness import PublicRandomness, split_rng
+from ..comm.runner import run_protocol
+from ..graphs.graph import Graph
+from ..graphs.partition import EdgePartition
+from .d1lc import d1lc_party
+from .random_color_trial import paper_iteration_count, random_color_trial_party
+
+__all__ = ["VertexColoringResult", "run_vertex_coloring"]
+
+PHASE_TRIAL = "random_color_trial"
+PHASE_LEFTOVER = "d1lc_leftover"
+
+
+@dataclass
+class VertexColoringResult:
+    """Outcome of one Theorem 1 execution."""
+
+    colors: dict[int, int]
+    transcript: Transcript
+    num_colors: int
+    leftover_size: int
+    trial_iterations_cap: int
+
+    @property
+    def total_bits(self) -> int:
+        """Bits exchanged across both phases."""
+        return self.transcript.total_bits
+
+    @property
+    def rounds(self) -> int:
+        """Rounds used across both phases."""
+        return self.transcript.rounds
+
+
+def leftover_lists(
+    own_graph: Graph,
+    colors: dict[int, int],
+    active: list[int],
+    num_colors: int,
+) -> dict[int, set[int]]:
+    """This party's D1LC lists for the leftover instance (Section 4.4)."""
+    palette = set(range(1, num_colors + 1))
+    lists = {}
+    for v in active:
+        used = {colors[u] for u in own_graph.neighbors(v) if u in colors}
+        lists[v] = palette - used
+    return lists
+
+
+def leftover_graph(own_graph: Graph, active: list[int]) -> Graph:
+    """This party's edges of the subgraph induced by the leftover set."""
+    active_set = set(active)
+    sub = Graph(own_graph.n)
+    for u, v in own_graph.edges():
+        if u in active_set and v in active_set:
+            sub.add_edge(u, v)
+    return sub
+
+
+def run_vertex_coloring(
+    partition: EdgePartition,
+    seed: int = 0,
+    max_trial_iterations: int | None = None,
+) -> VertexColoringResult:
+    """Execute the Theorem 1 protocol on an edge-partitioned graph.
+
+    The two parties read identical public tapes (same ``seed``) and disjoint
+    private tapes.  Returns the common-knowledge coloring with the measured
+    transcript (phases ``random_color_trial`` and ``d1lc_leftover``).
+    """
+    n = partition.n
+    delta = partition.max_degree
+    num_colors = delta + 1
+    transcript = Transcript()
+
+    if delta == 0:
+        # Edgeless graph: both parties color everything 1, zero communication.
+        colors = {v: 1 for v in range(n)}
+        return VertexColoringResult(colors, transcript, num_colors, 0, 0)
+
+    cap = (
+        paper_iteration_count(n)
+        if max_trial_iterations is None
+        else max_trial_iterations
+    )
+
+    pub_alice = PublicRandomness(seed)
+    pub_bob = PublicRandomness(seed)
+
+    with transcript.phase(PHASE_TRIAL):
+        (a_colors, a_active), (b_colors, b_active), _ = run_protocol(
+            random_color_trial_party(
+                partition.alice_graph, num_colors, pub_alice, cap
+            ),
+            random_color_trial_party(partition.bob_graph, num_colors, pub_bob, cap),
+            transcript,
+        )
+    if a_colors != b_colors or a_active != b_active:
+        raise AssertionError("parties disagree on the partial coloring")
+    colors, active = a_colors, a_active
+    leftover_size = len(active)
+
+    if active:
+        rng_alice = split_rng(random.Random(seed), "alice-private")
+        rng_bob = split_rng(random.Random(seed), "bob-private")
+        pub_a2 = pub_alice.spawn("d1lc-phase")
+        pub_b2 = pub_bob.spawn("d1lc-phase")
+        with transcript.phase(PHASE_LEFTOVER):
+            a_final, b_final, _ = run_protocol(
+                d1lc_party(
+                    "alice",
+                    leftover_graph(partition.alice_graph, active),
+                    leftover_lists(partition.alice_graph, colors, active, num_colors),
+                    active,
+                    num_colors,
+                    pub_a2,
+                    rng_alice,
+                ),
+                d1lc_party(
+                    "bob",
+                    leftover_graph(partition.bob_graph, active),
+                    leftover_lists(partition.bob_graph, colors, active, num_colors),
+                    active,
+                    num_colors,
+                    pub_b2,
+                    rng_bob,
+                ),
+                transcript,
+            )
+        if a_final != b_final:
+            raise AssertionError("parties disagree on the leftover coloring")
+        colors.update(a_final)
+
+    return VertexColoringResult(colors, transcript, num_colors, leftover_size, cap)

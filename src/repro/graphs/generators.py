@@ -1,0 +1,328 @@
+"""Graph generators for the protocols' workloads and hard instances.
+
+Covers the families the experiments sweep over (random graphs, regular
+graphs, bounded-degree structures) plus the paper's lower-bound
+constructions: unions of `C4` bit gadgets (Section 2.3 / FM25) and the
+star-pair instances underlying the ZEC game (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from .graph import Edge, Graph, canonical_edge
+
+__all__ = [
+    "barbell_of_stars",
+    "c4_gadget_union",
+    "caterpillar_graph",
+    "complete_bipartite",
+    "complete_graph",
+    "configuration_model_graph",
+    "cycle_graph",
+    "disjoint_union",
+    "gnp_random_graph",
+    "gnp_with_max_degree",
+    "grid_graph",
+    "hypercube_graph",
+    "path_graph",
+    "power_law_degree_sequence",
+    "random_bipartite_regular",
+    "random_regular_graph",
+    "star_graph",
+    "zec_instance_graph",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``0 - 1 - ... - (n-1)``."""
+    return Graph(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n ≥ 3`` vertices."""
+    if n < 3:
+        raise ValueError(f"a cycle needs at least 3 vertices, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges)
+
+
+def star_graph(n: int) -> Graph:
+    """The star with center 0 and ``n - 1`` leaves."""
+    return Graph(n, ((0, i) for i in range(1, n)))
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    return Graph(n, ((u, v) for u in range(n) for v in range(u + 1, n)))
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with left part ``0..a-1`` and right part ``a..a+b-1``."""
+    return Graph(a + b, ((u, a + v) for u in range(a) for v in range(b)))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows × cols`` grid (max degree 4)."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: list[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return Graph(rows * cols, edges)
+
+
+def gnp_random_graph(n: int, p: float, rng: random.Random) -> Graph:
+    """Erdős–Rényi ``G(n, p)``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def gnp_with_max_degree(n: int, p: float, max_degree: int, rng: random.Random) -> Graph:
+    """``G(n, p)`` with edges violating a degree cap rejected on the fly.
+
+    Useful for sweeping ``n`` at a pinned ``Δ`` so round-complexity series
+    isolate the ``log log n`` factor of Theorem 1.
+    """
+    graph = Graph(n)
+    order = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    rng.shuffle(order)
+    for u, v in order:
+        if rng.random() < p and graph.degree(u) < max_degree and graph.degree(v) < max_degree:
+            graph.add_edge(u, v)
+    return graph
+
+
+def random_regular_graph(n: int, d: int, rng: random.Random, max_tries: int = 200) -> Graph:
+    """A uniform-ish random ``d``-regular simple graph.
+
+    Pairing model with stub re-queuing (the standard practical variant):
+    stubs that would create loops or multi-edges are reshuffled instead of
+    restarting the whole pairing, with a suitability check to detect dead
+    ends.  Effective even for dense degrees.
+    """
+    if n * d % 2 != 0:
+        raise ValueError(f"n*d must be even, got n={n}, d={d}")
+    if d >= n:
+        raise ValueError(f"degree {d} too large for {n} vertices")
+    if d == 0:
+        return Graph(n)
+
+    def suitable(edges: set[Edge], pending: dict[int, int]) -> bool:
+        """Can every pending stub still be matched without a collision?"""
+        nodes = [v for v, count in pending.items() if count]
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                if canonical_edge(u, v) not in edges:
+                    return True
+        return not nodes
+
+    def attempt() -> set[Edge] | None:
+        edges: set[Edge] = set()
+        stubs = [v for v in range(n) for _ in range(d)]
+        while stubs:
+            pending: dict[int, int] = {}
+            rng.shuffle(stubs)
+            paired = iter(stubs)
+            for u, v in zip(paired, paired):
+                if u != v and canonical_edge(u, v) not in edges:
+                    edges.add(canonical_edge(u, v))
+                else:
+                    pending[u] = pending.get(u, 0) + 1
+                    pending[v] = pending.get(v, 0) + 1
+            if not suitable(edges, pending):
+                return None
+            stubs = [v for v, count in pending.items() for _ in range(count)]
+        return edges
+
+    for _ in range(max_tries):
+        edges = attempt()
+        if edges is not None:
+            return Graph(n, edges)
+    raise RuntimeError(f"failed to sample a simple {d}-regular graph on {n} vertices")
+
+
+def random_bipartite_regular(half: int, d: int, rng: random.Random) -> Graph:
+    """A bipartite ``d``-regular graph on ``2·half`` vertices.
+
+    Built as a union of ``d`` shifted copies of one random permutation
+    matching (a randomized circulant): distinct shifts guarantee the
+    matchings are edge-disjoint, so the construction never needs retries.
+    Bipartite regular graphs are class one, making them good stress inputs
+    for the edge-coloring protocols.
+    """
+    if d > half:
+        raise ValueError(f"degree {d} too large for part size {half}")
+    perm = list(range(half))
+    rng.shuffle(perm)
+    shifts = rng.sample(range(half), d)
+    edges: list[Edge] = [
+        (u, half + (perm[u] + shift) % half) for shift in shifts for u in range(half)
+    ]
+    return Graph(2 * half, edges)
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-cube: ``2^d`` vertices, regular of degree ``d``.
+
+    A structured, vertex-transitive family: every vertex is max-degree, so
+    Fournier's independence hypothesis fails everywhere and the edge
+    protocols must lean on their deferral machinery.
+    """
+    if dimension < 0:
+        raise ValueError(f"dimension must be non-negative, got {dimension}")
+    n = 1 << dimension
+    edges = [
+        (v, v ^ (1 << bit)) for v in range(n) for bit in range(dimension) if v < v ^ (1 << bit)
+    ]
+    return Graph(n, edges)
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int) -> Graph:
+    """A path of ``spine`` vertices, each carrying ``legs_per_vertex`` leaves.
+
+    Trees are class one with an easy structure; caterpillars additionally
+    exercise the high/low degree split of Algorithm 2 (spine vertices are
+    heavy, leaves are trivially light).
+    """
+    if spine < 1:
+        raise ValueError(f"spine must have at least one vertex, got {spine}")
+    n = spine * (1 + legs_per_vertex)
+    edges: list[Edge] = [(i, i + 1) for i in range(spine - 1)]
+    next_leaf = spine
+    for i in range(spine):
+        for _ in range(legs_per_vertex):
+            edges.append((i, next_leaf))
+            next_leaf += 1
+    return Graph(n, edges)
+
+
+def power_law_degree_sequence(
+    n: int,
+    exponent: float,
+    max_degree: int,
+    rng: random.Random,
+) -> list[int]:
+    """An even-sum degree sequence with ``P(d) ∝ d^{-exponent}``.
+
+    Heavy-tailed degrees are the regime where Theorem 1's Case 1/Case 2
+    analysis (low vs high initial degree, Section 2.1) genuinely diverges.
+    """
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    if max_degree < 1 or max_degree >= n:
+        raise ValueError(f"max_degree must be in [1, n), got {max_degree}")
+    weights = [d ** (-exponent) for d in range(1, max_degree + 1)]
+    total = sum(weights)
+    degrees = [
+        rng.choices(range(1, max_degree + 1), weights=weights)[0]
+        for _ in range(n)
+    ]
+    del total
+    if sum(degrees) % 2:
+        degrees[degrees.index(min(degrees))] += 1
+    return degrees
+
+
+def configuration_model_graph(degrees: list[int], rng: random.Random) -> Graph:
+    """A simple graph approximating a target degree sequence.
+
+    Pairing-model with rejection of loops/multi-edges (rejected stubs are
+    dropped, so realized degrees are ≤ targets — adequate for workload
+    generation; exact realization is not needed by any experiment).
+    """
+    n = len(degrees)
+    if any(d < 0 or d >= n for d in degrees):
+        raise ValueError("degrees must lie in [0, n)")
+    stubs = [v for v, d in enumerate(degrees) for _ in range(d)]
+    rng.shuffle(stubs)
+    graph = Graph(n)
+    paired = iter(stubs)
+    for u, v in zip(paired, paired):
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def disjoint_union(graphs: list[Graph]) -> Graph:
+    """The disjoint union, relabelling each component into a fresh block."""
+    total = sum(g.n for g in graphs)
+    union = Graph(total)
+    offset = 0
+    for g in graphs:
+        for u, v in g.edges():
+            union.add_edge(offset + u, offset + v)
+        offset += g.n
+    return union
+
+
+def barbell_of_stars(k: int, leaves: int) -> Graph:
+    """``k`` disjoint stars whose centers are joined in a path.
+
+    A structured low-degree family exercising the deferral logic of
+    Algorithm 2 (adjacent high-degree centers).
+    """
+    n = k * (leaves + 1)
+    edges: list[Edge] = []
+    for i in range(k):
+        center = i * (leaves + 1)
+        for j in range(1, leaves + 1):
+            edges.append((center, center + j))
+        if i + 1 < k:
+            edges.append((center, (i + 1) * (leaves + 1)))
+    return Graph(n, edges)
+
+
+def c4_gadget_union(bits: Sequence[int]) -> Graph:
+    """The FM25 lower-bound gadget graph encoding a bit string.
+
+    For bit ``x_i`` a gadget on vertices ``(a_i, b_i, c_i, d_i)`` always has
+    edges ``{a,b}`` and ``{c,d}``; if ``x_i = 0`` it adds ``{a,c},{b,d}``,
+    if ``x_i = 1`` it adds ``{a,d},{b,c}``.  Each gadget is a ``C4``
+    (max degree 2) and any proper 3-vertex-coloring identifies which of the
+    two cycles is present (see :mod:`repro.lowerbound.learning_gadget`).
+    """
+    edges: list[Edge] = []
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r} at index {i}")
+        a, b, c, d = 4 * i, 4 * i + 1, 4 * i + 2, 4 * i + 3
+        edges.append((a, b))
+        edges.append((c, d))
+        if bit == 0:
+            edges.append((a, c))
+            edges.append((b, d))
+        else:
+            edges.append((a, d))
+            edges.append((b, c))
+    return Graph(4 * len(bits), edges)
+
+
+def zec_instance_graph(
+    alice_spokes: tuple[int, int],
+    bob_spokes: tuple[int, int],
+) -> Graph:
+    """The 9-vertex ZEC game graph (Section 6.2).
+
+    Vertices ``0 = v_A``, ``1 = v_B``, ``2..8 = v_1..v_7``.  Alice holds the
+    two edges ``{v_A, v_i}`` for her spoke indices; Bob holds ``{v_B, v_j}``
+    for his.  Spoke indices are 1-based as in the paper (``1..7``).
+    """
+    for spokes in (alice_spokes, bob_spokes):
+        i, j = spokes
+        if not (1 <= i <= 7 and 1 <= j <= 7 and i != j):
+            raise ValueError(f"spokes must be two distinct indices in 1..7, got {spokes}")
+    edges = [(0, 1 + i) for i in alice_spokes] + [(1, 1 + j) for j in bob_spokes]
+    return Graph(9, edges)

@@ -1,0 +1,136 @@
+"""A minimal simple-graph type tuned for the coloring protocols.
+
+Vertices are integers ``0..n-1``; edges are unordered pairs stored in
+canonical ``(min, max)`` order.  The class favors the operations the
+protocols need constantly: neighbor sets, degrees, edge iteration, induced
+subgraphs, and cheap copies for the deferral/matching surgery of
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["Edge", "Graph", "canonical_edge"]
+
+Edge = tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """The canonical ``(min, max)`` form of an undirected edge."""
+    if u == v:
+        raise ValueError(f"self-loops are not allowed: ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """Undirected simple graph on the vertex set ``range(n)``."""
+
+    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        self.n = n
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+        self._m = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction -----------------------------------------------------
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add edge ``{u, v}``; return False if it was already present."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self.n}")
+        if u == v:
+            raise ValueError(f"self-loops are not allowed: ({u}, {v})")
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``{u, v}``; raise KeyError if absent."""
+        if v not in self._adj[u]:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+
+    def copy(self) -> "Graph":
+        """An independent deep copy."""
+        clone = Graph(self.n)
+        clone._adj = [set(neigh) for neigh in self._adj]
+        clone._m = self._m
+        return clone
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if ``{u, v}`` is an edge."""
+        return 0 <= u < self.n and v in self._adj[u]
+
+    def neighbors(self, v: int) -> set[int]:
+        """The neighbor set of ``v`` (a live view; do not mutate)."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return len(self._adj[v])
+
+    def degrees(self) -> list[int]:
+        """Degree sequence indexed by vertex."""
+        return [len(neigh) for neigh in self._adj]
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ (0 for the empty graph)."""
+        if self.n == 0:
+            return 0
+        return max(len(neigh) for neigh in self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate edges in canonical order."""
+        for u in range(self.n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_list(self) -> list[Edge]:
+        """All edges as a sorted list."""
+        return sorted(self.edges())
+
+    def vertices(self) -> range:
+        """The vertex set."""
+        return range(self.n)
+
+    def subgraph_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """A graph on the same vertex set containing only ``edges``."""
+        return Graph(self.n, (canonical_edge(u, v) for u, v in edges))
+
+    def union(self, other: "Graph") -> "Graph":
+        """Edge union of two graphs on the same vertex set."""
+        if other.n != self.n:
+            raise ValueError(f"vertex-set mismatch: {self.n} != {other.n}")
+        merged = self.copy()
+        for u, v in other.edges():
+            merged.add_edge(u, v)
+        return merged
+
+    def is_independent_set(self, vertices: Iterable[int]) -> bool:
+        """True if no two of ``vertices`` are adjacent."""
+        vset = set(vertices)
+        return all(not (self._adj[v] & vset) for v in vset)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self._m}, max_degree={self.max_degree()})"

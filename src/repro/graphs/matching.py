@@ -1,0 +1,117 @@
+"""Bipartite matching and the Δ-perfect matching of Lemma 5.3.
+
+Algorithm 2 needs, inside each party's *local* graph, a matching covering
+every vertex of maximum degree (a "Δ-perfect matching").  Lemma 5.3 proves
+one exists whenever the max-degree vertices form an independent set, via a
+fractional-matching argument on the bipartite graph (D, Y).  We implement
+Hopcroft–Karp from scratch (this is substrate, not an import) and derive the
+Δ-perfect matching from it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Mapping
+
+from .graph import Edge, Graph, canonical_edge
+
+__all__ = ["delta_perfect_matching", "hopcroft_karp", "is_matching"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    left: Iterable[int],
+    adjacency: Mapping[int, Iterable[int]],
+) -> dict[int, int]:
+    """Maximum bipartite matching via Hopcroft–Karp.
+
+    ``left`` lists the left-part vertices; ``adjacency[u]`` lists right-part
+    vertices reachable from left vertex ``u`` (the parts may share integer
+    labels only if they are disjoint sets of vertices — callers ensure
+    this).  Returns a dict mapping matched left vertices to their partners.
+
+    Runs in ``O(E·√V)``.
+    """
+    left_list = list(left)
+    match_left: dict[int, int] = {}
+    match_right: dict[int, int] = {}
+    dist: dict[int, float] = {}
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in left_list:
+            if u not in match_left:
+                dist[u] = 0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency.get(u, ()):
+                w = match_right.get(v)
+                if w is None:
+                    found_free = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found_free
+
+    def dfs(u: int) -> bool:
+        for v in adjacency.get(u, ()):
+            w = match_right.get(v)
+            if w is None or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in left_list:
+            if u not in match_left:
+                dfs(u)
+    return match_left
+
+
+def delta_perfect_matching(graph: Graph, degree: int | None = None) -> list[Edge]:
+    """A matching covering every vertex of degree ``degree`` (Lemma 5.3).
+
+    ``degree`` defaults to the maximum degree of ``graph``.  Requires the
+    target-degree vertices to form an independent set; raises
+    ``ValueError`` otherwise, and raises ``RuntimeError`` if no covering
+    matching exists (impossible under Lemma 5.3's hypothesis — exercised by
+    the test suite).
+    """
+    target = graph.max_degree() if degree is None else degree
+    if target <= 0:
+        return []
+    heavy = [v for v in graph.vertices() if graph.degree(v) == target]
+    if not heavy:
+        return []
+    if not graph.is_independent_set(heavy):
+        raise ValueError(
+            f"degree-{target} vertices do not form an independent set; "
+            "Lemma 5.3 does not apply"
+        )
+    adjacency = {v: sorted(graph.neighbors(v)) for v in heavy}
+    matching = hopcroft_karp(heavy, adjacency)
+    if len(matching) != len(heavy):
+        missed = sorted(set(heavy) - set(matching))[:3]
+        raise RuntimeError(
+            f"no matching covers all degree-{target} vertices (missed {missed}); "
+            "this contradicts Lemma 5.3"
+        )
+    return [canonical_edge(u, v) for u, v in matching.items()]
+
+
+def is_matching(edges: Iterable[Edge]) -> bool:
+    """True if no two edges share an endpoint."""
+    seen: set[int] = set()
+    for u, v in edges:
+        if u in seen or v in seen or u == v:
+            return False
+        seen.add(u)
+        seen.add(v)
+    return True

@@ -1,0 +1,71 @@
+"""Lower-bound machinery: ZEC games, reductions, repetition, W-streaming."""
+
+from .guessing import BitProtocol, guessing_success_probability, simulate_with_guess
+from .learning_gadget import (
+    decode_bit,
+    decode_bits,
+    gadget_candidate_edges,
+    gadget_partition,
+)
+from .repetition import (
+    holenstein_bound,
+    product_game_graph,
+    product_success_exact,
+    simulate_product_game,
+)
+from .wstreaming import (
+    BufferedWStreamColorer,
+    GreedyWStreamColorer,
+    WStreamingAlgorithm,
+    reduce_streaming_to_two_party,
+    run_wstreaming,
+)
+from .zec import (
+    ALL_INPUTS,
+    COLOR_PAIRS,
+    LEMMA_62_BOUND,
+    best_response,
+    exact_win_probability,
+    label_sets,
+    lemma_62_dichotomy,
+    optimize_strategies,
+    random_strategy,
+)
+from .zec_new import (
+    PAPER_HUB_POOL,
+    simulate_zec_new,
+    zec_new_bound,
+    zec_new_win_probability,
+)
+
+__all__ = [
+    "ALL_INPUTS",
+    "BitProtocol",
+    "BufferedWStreamColorer",
+    "COLOR_PAIRS",
+    "GreedyWStreamColorer",
+    "LEMMA_62_BOUND",
+    "PAPER_HUB_POOL",
+    "WStreamingAlgorithm",
+    "best_response",
+    "decode_bit",
+    "decode_bits",
+    "exact_win_probability",
+    "gadget_candidate_edges",
+    "gadget_partition",
+    "guessing_success_probability",
+    "holenstein_bound",
+    "label_sets",
+    "lemma_62_dichotomy",
+    "optimize_strategies",
+    "product_game_graph",
+    "product_success_exact",
+    "random_strategy",
+    "reduce_streaming_to_two_party",
+    "run_wstreaming",
+    "simulate_product_game",
+    "simulate_with_guess",
+    "simulate_zec_new",
+    "zec_new_bound",
+    "zec_new_win_probability",
+]

@@ -1,0 +1,202 @@
+"""The Zero-communication Edge Coloring (ZEC) game — Section 6.2.
+
+Nine vertices ``{v_A, v_B, v_1..v_7}``.  A referee hands Alice two uniform
+spokes ``{v_A, v_i}, {v_A, v_j}`` and Bob two uniform spokes
+``{v_B, v_k}, {v_B, v_l}`` (independently).  With no communication and no
+shared randomness, each player 3-colors its own two edges; they win iff the
+union is a proper 3-edge coloring.  Lemma 6.2: every strategy pair wins with
+probability at most ``11024/11025``.
+
+This module provides:
+
+* exact win-probability evaluation of deterministic and behavioral
+  strategy pairs (full 21 × 21 input enumeration);
+* the label sets ``L_A(v_i), L_B(v_i)`` of Lemma 6.2 and the dichotomy its
+  proof case-splits on;
+* strategy optimization by alternating exact best responses, used by the
+  E10 experiment to exhibit near-optimal strategies strictly below 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Mapping
+
+__all__ = [
+    "ALL_INPUTS",
+    "COLOR_PAIRS",
+    "LEMMA_62_BOUND",
+    "DeterministicStrategy",
+    "all_inputs",
+    "best_response",
+    "exact_win_probability",
+    "label_sets",
+    "lemma_62_dichotomy",
+    "optimize_strategies",
+    "random_strategy",
+]
+
+#: Number of spokes per side.
+NUM_SPOKES = 7
+#: The three edge colors.
+COLORS = (1, 2, 3)
+#: Ordered pairs of distinct colors — the 6 proper local assignments.
+COLOR_PAIRS = tuple(
+    (a, b) for a in COLORS for b in COLORS if a != b
+)
+#: All 21 possible inputs (unordered spoke pairs, 1-based).
+ALL_INPUTS = tuple(itertools.combinations(range(1, NUM_SPOKES + 1), 2))
+#: Lemma 6.2's upper bound on the winning probability.
+LEMMA_62_BOUND = 11024.0 / 11025.0
+
+#: A deterministic strategy: input pair -> (color of lower spoke edge,
+#: color of higher spoke edge), colors distinct (proper at the hub).
+DeterministicStrategy = Mapping[tuple[int, int], tuple[int, int]]
+
+
+def all_inputs() -> tuple[tuple[int, int], ...]:
+    """The 21 possible two-spoke inputs of one player."""
+    return ALL_INPUTS
+
+
+def random_strategy(rng: random.Random) -> dict[tuple[int, int], tuple[int, int]]:
+    """A uniformly random deterministic (locally proper) strategy."""
+    return {inp: rng.choice(COLOR_PAIRS) for inp in ALL_INPUTS}
+
+
+def _spoke_colors(strategy: DeterministicStrategy, inp: tuple[int, int]) -> dict[int, int]:
+    """Map each spoke of ``inp`` to the color the strategy assigns its edge."""
+    i, j = inp
+    ci, cj = strategy[inp]
+    return {i: ci, j: cj}
+
+
+def exact_win_probability(
+    alice: DeterministicStrategy,
+    bob: DeterministicStrategy,
+) -> float:
+    """Exact probability the pair wins the ZEC game (21 × 21 enumeration).
+
+    The union coloring is proper iff, for every spoke chosen by both
+    players, the two incident edges got different colors (the hub edges are
+    locally proper by construction).
+    """
+    wins = 0
+    alice_colors = {inp: _spoke_colors(alice, inp) for inp in ALL_INPUTS}
+    bob_colors = {inp: _spoke_colors(bob, inp) for inp in ALL_INPUTS}
+    for sa in ALL_INPUTS:
+        ca = alice_colors[sa]
+        for sb in ALL_INPUTS:
+            cb = bob_colors[sb]
+            ok = True
+            for spoke, color in ca.items():
+                if cb.get(spoke) == color:
+                    ok = False
+                    break
+            wins += ok
+    return wins / (len(ALL_INPUTS) ** 2)
+
+
+def label_sets(
+    strategy: DeterministicStrategy,
+    threshold: float = 1.0 / 5.0,
+) -> dict[int, set[int]]:
+    """The Lemma 6.2 labels ``L(v_i)`` of a (deterministic) strategy.
+
+    ``c ∈ L(v_i)`` iff some input containing spoke ``i`` makes the strategy
+    color the edge to ``v_i`` with ``c`` with probability ``≥ threshold``
+    (for deterministic strategies: probability 1).
+    """
+    labels: dict[int, set[int]] = {i: set() for i in range(1, NUM_SPOKES + 1)}
+    for inp in ALL_INPUTS:
+        for spoke, color in _spoke_colors(strategy, inp).items():
+            labels[spoke].add(color)
+    del threshold  # deterministic strategies color with probability 1
+    return labels
+
+
+def lemma_62_dichotomy(
+    alice: DeterministicStrategy,
+    bob: DeterministicStrategy,
+) -> str:
+    """Which case of Lemma 6.2's proof applies to this strategy pair.
+
+    Returns ``"case1"`` if either player has ≥ 4 singleton-labelled spokes
+    (pigeonhole forces a same-colored hub pair), else ``"case2"`` (some
+    spoke carries ≥ 2 labels on both sides, sharing a common color).  The
+    lemma's argument guarantees one of the two always holds.
+    """
+    la = label_sets(alice)
+    lb = label_sets(bob)
+    singles_a = [i for i, lab in la.items() if len(lab) == 1]
+    singles_b = [i for i, lab in lb.items() if len(lab) == 1]
+    if len(singles_a) >= 4 or len(singles_b) >= 4:
+        return "case1"
+    shared = [
+        i
+        for i in range(1, NUM_SPOKES + 1)
+        if len(la[i]) >= 2 and len(lb[i]) >= 2 and la[i] & lb[i]
+    ]
+    if shared:
+        return "case2"
+    raise AssertionError(
+        "Lemma 6.2 dichotomy failed — this contradicts the pigeonhole argument"
+    )
+
+
+def best_response(
+    opponent: DeterministicStrategy,
+    responder: str,
+) -> dict[tuple[int, int], tuple[int, int]]:
+    """The exact best deterministic response to ``opponent``.
+
+    Because a player's inputs are uniform and independent of the
+    opponent's, the best response decomposes per input: for each of the 21
+    inputs pick the locally proper color pair maximizing the win
+    probability against the opponent's (uniform-input) play.
+    """
+    if responder not in ("alice", "bob"):
+        raise ValueError(f"responder must be 'alice' or 'bob', got {responder!r}")
+    opp_colors = [_spoke_colors(opponent, inp) for inp in ALL_INPUTS]
+    response = {}
+    for inp in ALL_INPUTS:
+        i, j = inp
+        best_pair, best_wins = None, -1
+        for ci, cj in COLOR_PAIRS:
+            wins = 0
+            for oc in opp_colors:
+                if oc.get(i) != ci and oc.get(j) != cj:
+                    wins += 1
+            if wins > best_wins:
+                best_pair, best_wins = (ci, cj), wins
+        response[inp] = best_pair
+    return response
+
+
+def optimize_strategies(
+    rng: random.Random,
+    restarts: int = 10,
+    iterations: int = 20,
+) -> tuple[dict, dict, float]:
+    """Search for a near-optimal strategy pair by alternating best responses.
+
+    Returns ``(alice, bob, win_probability)`` for the best pair found.  The
+    win probability is always strictly below 1 — Lemma 6.2 in action.
+    """
+    best = (None, None, -1.0)
+    for _ in range(restarts):
+        alice = random_strategy(rng)
+        bob = random_strategy(rng)
+        value = exact_win_probability(alice, bob)
+        for _ in range(iterations):
+            bob = best_response(alice, "bob")
+            alice = best_response(bob, "alice")
+            new_value = exact_win_probability(alice, bob)
+            if new_value <= value:
+                value = new_value
+                break
+            value = new_value
+        if value > best[2]:
+            best = (alice, bob, value)
+    return best

@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    gnp_random_graph,
+    partition_alternating,
+    partition_all_alice,
+    partition_all_bob,
+    partition_degree_split,
+    partition_random,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for test reproducibility."""
+    return random.Random(0xC0FFEE)
+
+
+def random_graph_family(rng: random.Random, count: int, max_n: int = 40) -> list[Graph]:
+    """A batch of assorted random graphs for sweep-style tests."""
+    graphs = []
+    for _ in range(count):
+        n = rng.randint(2, max_n)
+        p = rng.random() * 0.7
+        graphs.append(gnp_random_graph(n, p, rng))
+    return graphs
+
+
+def all_partitions(graph: Graph, rng: random.Random):
+    """One partition of each flavor, for adversary sweeps."""
+    return [
+        partition_random(graph, rng),
+        partition_all_alice(graph),
+        partition_all_bob(graph),
+        partition_alternating(graph),
+        partition_degree_split(graph),
+    ]
+
+
+def make_fournier_instance(n: int, p: float, rng: random.Random) -> Graph:
+    """A random graph whose max-degree vertices form an independent set."""
+    graph = gnp_random_graph(n, p, rng)
+    while True:
+        delta = graph.max_degree()
+        if delta == 0:
+            return graph
+        heavy = {v for v in graph.vertices() if graph.degree(v) == delta}
+        bad = [(u, v) for u, v in graph.edges() if u in heavy and v in heavy]
+        if not bad:
+            return graph
+        graph.remove_edge(*bad[0])

@@ -1,0 +1,106 @@
+"""Tests for the analysis helpers (stats + tables)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    geometric_decay_rate,
+    linear_fit,
+    mean_ci,
+    print_table,
+    r_squared,
+)
+
+
+class TestMeanCI:
+    def test_single_value(self):
+        assert mean_ci([5.0]) == (5.0, 0.0)
+
+    def test_constant_series(self):
+        mean, half = mean_ci([2.0] * 10)
+        assert mean == 2.0 and half == 0.0
+
+    def test_ci_shrinks_with_samples(self):
+        wide = mean_ci([1, 2, 3, 4])[1]
+        narrow = mean_ci([1, 2, 3, 4] * 25)[1]
+        assert narrow < wide
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([0, 1, 2, 3], [1, 3, 5, 7])
+        assert abs(fit.slope - 2) < 1e-9
+        assert abs(fit.intercept - 1) < 1e-9
+        assert fit.r2 > 0.999999
+        assert abs(fit.predict(10) - 21) < 1e-9
+
+    def test_noisy_line_reasonable_r2(self):
+        xs = list(range(20))
+        ys = [2 * x + ((-1) ** x) * 0.5 for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.r2 > 0.99
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+
+class TestRSquared:
+    def test_perfect(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_constant_actual(self):
+        assert r_squared([2, 2], [2, 2]) == 1.0
+        assert r_squared([2, 2], [1, 3]) == 0.0
+
+
+class TestGeometricDecay:
+    def test_exact_geometric(self):
+        series = [1000 * (0.5**i) for i in range(8)]
+        assert abs(geometric_decay_rate(series) - 0.5) < 1e-6
+
+    def test_ignores_zero_tail(self):
+        series = [100, 50, 25, 0, 0]
+        rate = geometric_decay_rate(series)
+        assert abs(rate - 0.5) < 1e-6
+
+    def test_needs_two_positive_points(self):
+        with pytest.raises(ValueError):
+            geometric_decay_rate([5, 0, 0])
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        table = format_table(
+            ["n", "bits"], [[10, 120], [1000, 9800]], title="demo"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "bits" in lines[1]
+        assert "9800" in lines[-1]
+        # aligned: all rows same width
+        assert len(lines[2]) == len(lines[3])
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.000123456], [12345.678], [1.5], [0.0]])
+        assert "1.235e-04" in table
+        assert "1.235e+04" in table
+        assert "1.5" in table
+        assert math.isfinite(1.0)  # noqa: S101 - keep math import honest
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_print_table_smoke(self, capsys):
+        print_table(["a"], [[1]])
+        out = capsys.readouterr().out
+        assert "a" in out and "1" in out

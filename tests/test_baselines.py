@@ -1,0 +1,103 @@
+"""Tests for the four baseline protocols and their cost signatures."""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import (
+    ack_list_size,
+    run_flin_mittal,
+    run_greedy_binary_search,
+    run_naive_exchange,
+    run_one_round_sparsify,
+)
+from repro.graphs import (
+    assert_proper_vertex_coloring,
+    gnp_random_graph,
+    partition_random,
+    random_regular_graph,
+)
+
+from .conftest import all_partitions
+
+
+class TestCorrectness:
+    def test_all_baselines_color_properly(self, rng):
+        for trial in range(12):
+            g = gnp_random_graph(rng.randint(2, 30), rng.random() * 0.5, rng)
+            part = partition_random(g, rng)
+            k = g.max_degree() + 1
+            for result in (
+                run_flin_mittal(part, seed=trial),
+                run_greedy_binary_search(part),
+                run_one_round_sparsify(part, seed=trial),
+                run_naive_exchange(part),
+            ):
+                assert_proper_vertex_coloring(g, result.colors, k)
+
+    def test_partition_adversaries(self, rng):
+        g = gnp_random_graph(20, 0.4, rng)
+        k = g.max_degree() + 1
+        for part in all_partitions(g, rng):
+            for result in (
+                run_flin_mittal(part, seed=0),
+                run_greedy_binary_search(part),
+                run_one_round_sparsify(part, seed=0),
+                run_naive_exchange(part),
+            ):
+                assert_proper_vertex_coloring(g, result.colors, k)
+
+    def test_edgeless(self, rng):
+        g = gnp_random_graph(8, 0.0, rng)
+        part = partition_random(g, rng)
+        for result in (
+            run_flin_mittal(part),
+            run_greedy_binary_search(part),
+            run_one_round_sparsify(part),
+            run_naive_exchange(part),
+        ):
+            assert result.colors == {v: 1 for v in range(8)}
+
+
+class TestCostSignatures:
+    """Each baseline has a distinctive (bits, rounds) signature the
+    experiments rely on; pin the qualitative facts here."""
+
+    def test_flin_mittal_is_round_heavy(self, rng):
+        g = random_regular_graph(100, 6, rng)
+        part = partition_random(g, rng)
+        res = run_flin_mittal(part, seed=1)
+        assert res.rounds >= g.n  # Θ(n) rounds: at least one per vertex
+
+    def test_greedy_binary_search_round_heavy_and_deterministic(self, rng):
+        g = random_regular_graph(60, 6, rng)
+        part = partition_random(g, rng)
+        a = run_greedy_binary_search(part)
+        b = run_greedy_binary_search(part)
+        assert a.colors == b.colors and a.total_bits == b.total_bits
+        assert a.rounds >= g.n
+
+    def test_one_round_uses_single_round_whp(self, rng):
+        g = random_regular_graph(80, 6, rng)
+        part = partition_random(g, rng)
+        res = run_one_round_sparsify(part, seed=2)
+        assert res.rounds <= 2  # 1 whp, 2 if the rare fallback fires
+
+    def test_naive_is_single_round_but_bit_heavy(self, rng):
+        g = random_regular_graph(100, 8, rng)
+        part = partition_random(g, rng)
+        naive = run_naive_exchange(part)
+        fm = run_flin_mittal(part, seed=1)
+        assert naive.rounds == 1
+        assert naive.total_bits > fm.total_bits  # m log n ≫ O(n)
+
+    def test_ack_list_size_clamped_to_palette(self):
+        assert ack_list_size(1000, 5) == 5
+        assert ack_list_size(1000, 100) > 10
+
+    def test_result_metadata(self, rng):
+        g = random_regular_graph(40, 4, rng)
+        part = partition_random(g, rng)
+        res = run_flin_mittal(part, seed=0)
+        assert res.name == "flin_mittal"
+        assert res.num_colors == 5

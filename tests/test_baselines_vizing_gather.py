@@ -1,0 +1,56 @@
+"""Tests for the gather-and-Vizing (Δ+1)-edge coloring anchor."""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines import run_vizing_gather
+from repro.graphs import (
+    assert_proper_edge_coloring,
+    complete_graph,
+    gnp_random_graph,
+    partition_random,
+    random_regular_graph,
+)
+
+from .conftest import all_partitions
+
+
+class TestVizingGather:
+    def test_colors_with_delta_plus_one(self, rng):
+        for _ in range(15):
+            g = gnp_random_graph(rng.randint(2, 25), rng.random() * 0.6, rng)
+            part = partition_random(g, rng)
+            res = run_vizing_gather(part)
+            if g.m:
+                assert_proper_edge_coloring(g, res.colors, g.max_degree() + 1)
+
+    def test_partition_adversaries_agree(self, rng):
+        g = complete_graph(9)
+        for part in all_partitions(g, rng):
+            res = run_vizing_gather(part)
+            assert_proper_edge_coloring(g, res.colors, 9)
+
+    def test_single_round(self, rng):
+        g = random_regular_graph(40, 6, rng)
+        res = run_vizing_gather(partition_random(g, rng))
+        assert res.rounds == 1
+
+    def test_bits_scale_with_m_log_n(self, rng):
+        """The anchor's Θ(m log n) signature, vs Theorem 2's Θ(n)."""
+        from repro.core import run_edge_coloring
+
+        g = random_regular_graph(256, 12, rng)
+        part = partition_random(g, rng)
+        gather = run_vizing_gather(part)
+        thm2 = run_edge_coloring(part)
+        m = g.m
+        assert gather.total_bits >= m  # at least one bit per edge
+        assert gather.total_bits <= 4 * m * math.log2(256)
+        assert gather.total_bits > 3 * thm2.total_bits
+
+    def test_uses_fewer_colors_than_theorem2(self, rng):
+        g = random_regular_graph(60, 10, rng)
+        part = partition_random(g, rng)
+        res = run_vizing_gather(part)
+        assert max(res.colors.values()) <= 11  # Δ+1, not 2Δ−1

@@ -1,0 +1,130 @@
+"""Tests for greedy colorings and the list-coloring solver."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import (
+    greedy_d1lc_coloring,
+    greedy_edge_coloring,
+    greedy_vertex_coloring,
+    solve_list_coloring,
+)
+from repro.graphs import (
+    Graph,
+    assert_proper_edge_coloring,
+    assert_proper_vertex_coloring,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    is_proper_list_coloring,
+)
+
+
+class TestGreedyVertex:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_delta_plus_one_always_works(self, seed):
+        rng = random.Random(seed)
+        g = gnp_random_graph(rng.randint(1, 25), rng.random(), rng)
+        colors = greedy_vertex_coloring(g)
+        assert_proper_vertex_coloring(g, colors, g.max_degree() + 1)
+
+    def test_respects_custom_order(self):
+        g = cycle_graph(4)
+        colors = greedy_vertex_coloring(g, order=[3, 2, 1, 0])
+        assert_proper_vertex_coloring(g, colors, 3)
+
+    def test_incomplete_order_rejected(self):
+        g = cycle_graph(4)
+        with pytest.raises(ValueError):
+            greedy_vertex_coloring(g, order=[0, 1])
+
+    def test_complete_graph_uses_n_colors(self):
+        g = complete_graph(6)
+        colors = greedy_vertex_coloring(g)
+        assert len(set(colors.values())) == 6
+
+
+class TestGreedyEdge:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_two_delta_minus_one_always_works(self, seed):
+        rng = random.Random(seed)
+        g = gnp_random_graph(rng.randint(1, 20), rng.random(), rng)
+        colors = greedy_edge_coloring(g)
+        assert_proper_edge_coloring(g, colors, max(2 * g.max_degree() - 1, 1))
+
+    def test_forbidden_colors_respected(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        colors = greedy_edge_coloring(
+            g, num_colors=4, forbidden={1: {1, 2}}
+        )
+        assert colors[(0, 1)] not in (1, 2)
+        assert colors[(1, 2)] not in (1, 2)
+
+    def test_raises_when_palette_exhausted(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            greedy_edge_coloring(g, num_colors=1)
+
+
+class TestGreedyD1LC:
+    def test_always_succeeds_with_degree_plus_one_lists(self, rng):
+        for _ in range(30):
+            g = gnp_random_graph(rng.randint(1, 20), rng.random(), rng)
+            lists = {
+                v: set(range(1, g.degree(v) + 2)) for v in g.vertices()
+            }
+            colors = greedy_d1lc_coloring(g, lists)
+            assert is_proper_list_coloring(g, colors, lists)
+
+    def test_disjoint_lists_ok(self):
+        g = Graph(2, [(0, 1)])
+        lists = {0: {1, 5}, 1: {2, 9}}
+        colors = greedy_d1lc_coloring(g, lists)
+        assert is_proper_list_coloring(g, colors, lists)
+
+    def test_rejects_small_list(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            greedy_d1lc_coloring(g, {0: {1}, 1: {1}})
+
+
+class TestListColoringSolver:
+    def test_solves_degree_plus_one_instances(self, rng):
+        for _ in range(20):
+            g = gnp_random_graph(rng.randint(1, 18), rng.random(), rng)
+            lists = {v: set(range(1, g.degree(v) + 2)) for v in g.vertices()}
+            colors = solve_list_coloring(g, lists, rng)
+            assert colors is not None
+            assert is_proper_list_coloring(g, colors, lists)
+
+    def test_solves_tight_instances_needing_repair(self, rng):
+        # Odd cycle with identical 3-lists: greedy can fail locally, the
+        # solver must still find one of the many proper colorings.
+        g = cycle_graph(9)
+        lists = {v: {1, 2, 3} for v in g.vertices()}
+        colors = solve_list_coloring(g, lists, rng)
+        assert colors is not None
+        assert is_proper_list_coloring(g, colors, lists)
+
+    def test_returns_none_on_unsatisfiable(self, rng):
+        # Triangle with identical 2-lists is not list-colorable.
+        g = complete_graph(3)
+        lists = {v: {1, 2} for v in g.vertices()}
+        assert solve_list_coloring(g, lists, rng, max_restarts=3) is None
+
+    def test_returns_none_on_empty_list(self, rng):
+        g = Graph(1)
+        assert solve_list_coloring(g, {0: set()}, rng) is None
+
+    def test_deterministic_given_seed(self):
+        g = cycle_graph(7)
+        lists = {v: {1, 2, 3} for v in g.vertices()}
+        a = solve_list_coloring(g, lists, random.Random(42))
+        b = solve_list_coloring(g, lists, random.Random(42))
+        assert a == b

@@ -1,0 +1,114 @@
+"""Tests for the edge-coloring state and Kempe-chain inversion."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coloring import EdgeColoringState
+from repro.graphs import gnp_random_graph
+from repro.graphs.validation import assert_proper_edge_coloring
+
+
+class TestAssignments:
+    def test_assign_and_query(self):
+        s = EdgeColoringState(4, 3)
+        s.assign(0, 1, 2)
+        assert s.color_of(1, 0) == 2
+        assert s.neighbor_via(0, 2) == 1
+        assert not s.is_free(0, 2)
+        assert s.is_free(0, 1)
+        assert list(s.free_colors(0)) == [1, 3]
+        assert s.some_free_color(0) == 1
+
+    def test_double_assign_rejected(self):
+        s = EdgeColoringState(3, 3)
+        s.assign(0, 1, 1)
+        with pytest.raises(ValueError):
+            s.assign(0, 1, 2)
+
+    def test_conflicting_assign_rejected(self):
+        s = EdgeColoringState(3, 3)
+        s.assign(0, 1, 1)
+        with pytest.raises(ValueError):
+            s.assign(1, 2, 1)
+
+    def test_out_of_palette_rejected(self):
+        s = EdgeColoringState(3, 2)
+        with pytest.raises(ValueError):
+            s.assign(0, 1, 3)
+
+    def test_unassign_restores_freedom(self):
+        s = EdgeColoringState(3, 3)
+        s.assign(0, 1, 1)
+        assert s.unassign(0, 1) == 1
+        assert s.is_free(0, 1) and s.is_free(1, 1)
+
+    def test_recolor(self):
+        s = EdgeColoringState(3, 3)
+        s.assign(0, 1, 1)
+        s.recolor(0, 1, 3)
+        assert s.color_of(0, 1) == 3
+
+    def test_saturated_vertex_has_no_free_color(self):
+        s = EdgeColoringState(4, 2)
+        s.assign(0, 1, 1)
+        s.assign(0, 2, 2)
+        assert s.some_free_color(0) is None
+
+
+class TestKempeInversion:
+    def test_flips_a_path(self):
+        # path 0-1-2-3 alternately colored 1,2,1
+        s = EdgeColoringState(4, 2)
+        s.assign(0, 1, 1)
+        s.assign(1, 2, 2)
+        s.assign(2, 3, 1)
+        path = s.invert_kempe_path(0, 2, 1)
+        assert path == [0, 1, 2, 3]
+        assert s.color_of(0, 1) == 2
+        assert s.color_of(1, 2) == 1
+        assert s.color_of(2, 3) == 2
+
+    def test_no_edge_of_either_color_is_noop(self):
+        s = EdgeColoringState(3, 3)
+        s.assign(0, 1, 3)
+        assert s.invert_kempe_path(0, 1, 2) == [0]
+        assert s.color_of(0, 1) == 3
+
+    def test_rejects_vertex_with_both_colors(self):
+        s = EdgeColoringState(4, 2)
+        s.assign(0, 1, 1)
+        s.assign(0, 2, 2)
+        with pytest.raises(ValueError):
+            s.invert_kempe_path(0, 1, 2)
+
+    def test_rejects_equal_colors(self):
+        s = EdgeColoringState(2, 2)
+        with pytest.raises(ValueError):
+            s.invert_kempe_path(0, 1, 1)
+
+    def test_inversion_preserves_properness(self):
+        rng = random.Random(9)
+        for _ in range(50):
+            g = gnp_random_graph(rng.randint(2, 14), rng.random(), rng)
+            k = g.max_degree() + 1
+            if k < 2:
+                continue
+            s = EdgeColoringState(g.n, k)
+            # Greedy-fill a partial coloring.
+            for u, v in g.edge_list():
+                free = next(
+                    (c for c in s.free_colors(u) if s.is_free(v, c)), None
+                )
+                if free is not None:
+                    s.assign(u, v, free)
+            start = rng.randrange(g.n)
+            alpha, beta = rng.sample(range(1, k + 1), 2)
+            if not s.is_free(start, alpha) and not s.is_free(start, beta):
+                continue
+            s.invert_kempe_path(start, alpha, beta)
+            colored = s.colors()
+            sub = g.subgraph_edges(colored.keys())
+            assert_proper_edge_coloring(sub, colored, k)

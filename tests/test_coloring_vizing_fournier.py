@@ -1,0 +1,166 @@
+"""Property tests for Vizing and Fournier edge colorings (Props. 3.4/3.5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import (
+    FanProcedureError,
+    color_edge_with_fan,
+    EdgeColoringState,
+    fournier_edge_coloring,
+    vizing_edge_coloring,
+)
+from repro.graphs import (
+    assert_proper_edge_coloring,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+from .conftest import make_fournier_instance
+
+
+def small_gnp(draw, max_n=16):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    return gnp_random_graph(n, rng.random(), rng)
+
+
+class TestVizing:
+    @given(st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_proper_with_delta_plus_one_colors(self, data):
+        g = small_gnp(data.draw)
+        colors = vizing_edge_coloring(g)
+        assert_proper_edge_coloring(g, colors, g.max_degree() + 1)
+
+    def test_structured_families(self):
+        for g in (
+            path_graph(10),
+            cycle_graph(9),
+            star_graph(8),
+            complete_graph(7),
+            complete_bipartite(5, 6),
+            grid_graph(4, 5),
+        ):
+            colors = vizing_edge_coloring(g)
+            assert_proper_edge_coloring(g, colors, g.max_degree() + 1)
+
+    def test_regular_graphs(self):
+        rng = random.Random(0)
+        for n, d in [(30, 5), (40, 9), (24, 11)]:
+            g = random_regular_graph(n, d, rng)
+            colors = vizing_edge_coloring(g)
+            assert_proper_edge_coloring(g, colors, d + 1)
+
+    def test_widened_palette(self):
+        g = complete_graph(5)
+        colors = vizing_edge_coloring(g, num_colors=10)
+        assert_proper_edge_coloring(g, colors, 10)
+
+    def test_rejects_too_few_colors(self):
+        with pytest.raises(ValueError):
+            vizing_edge_coloring(complete_graph(4), num_colors=3)
+
+    def test_empty_graph(self):
+        assert vizing_edge_coloring(gnp_random_graph(5, 0, random.Random(0))) == {}
+
+    def test_odd_cycle_uses_three_colors(self):
+        g = cycle_graph(5)
+        colors = vizing_edge_coloring(g)
+        assert len(set(colors.values())) == 3
+
+
+class TestFournier:
+    @given(st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_class_one_coloring(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=18))
+        seed = data.draw(st.integers(min_value=0, max_value=10**6))
+        rng = random.Random(seed)
+        g = make_fournier_instance(n, rng.random(), rng)
+        delta = g.max_degree()
+        if delta == 0:
+            return
+        colors = fournier_edge_coloring(g)
+        assert_proper_edge_coloring(g, colors, delta)
+        # exactly Δ colors at a max-degree vertex
+        heavy = next(v for v in g.vertices() if g.degree(v) == delta)
+        used_at_heavy = {
+            colors[(min(heavy, u), max(heavy, u))] for u in g.neighbors(heavy)
+        }
+        assert len(used_at_heavy) == delta
+
+    def test_star_is_class_one(self):
+        g = star_graph(9)
+        colors = fournier_edge_coloring(g)
+        assert_proper_edge_coloring(g, colors, 8)
+
+    def test_even_cycle_fails_hypothesis(self):
+        # Even cycles are class one, but their max-degree vertices are all
+        # adjacent — Fournier's hypothesis does not hold and the algorithm
+        # must refuse rather than silently use the theorem outside its scope.
+        with pytest.raises(ValueError):
+            fournier_edge_coloring(cycle_graph(8))
+
+    def test_unique_max_degree_vertex(self):
+        # A spider: center of degree 3 with three 2-edge legs; the single
+        # max-degree vertex is trivially independent.
+        from repro.graphs import Graph
+
+        g = Graph(7, [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)])
+        colors = fournier_edge_coloring(g)
+        assert_proper_edge_coloring(g, colors, 3)
+
+    def test_rejects_dependent_max_degree_set(self):
+        with pytest.raises(ValueError):
+            fournier_edge_coloring(complete_bipartite(4, 4))
+
+    def test_rejects_too_few_colors(self):
+        with pytest.raises(ValueError):
+            fournier_edge_coloring(star_graph(5), num_colors=3)
+
+    def test_widened_palette_skips_independence_requirement(self):
+        g = complete_bipartite(3, 3)
+        colors = fournier_edge_coloring(g, num_colors=4)
+        assert_proper_edge_coloring(g, colors, 4)
+
+    def test_empty_graph(self):
+        assert fournier_edge_coloring(gnp_random_graph(4, 0, random.Random(0))) == {}
+
+
+class TestFanProcedure:
+    def test_colors_a_fresh_edge(self):
+        g = complete_graph(4)
+        state = EdgeColoringState(4, 4)
+        edges = g.edge_list()
+        for u, v in edges[:-1]:
+            free = next(c for c in state.free_colors(u) if state.is_free(v, c))
+            state.assign(u, v, free)
+        u, v = edges[-1]
+        color_edge_with_fan(state, u, v)
+        assert_proper_edge_coloring(g, state.colors(), 4)
+
+    def test_rejects_already_colored_edge(self):
+        state = EdgeColoringState(2, 2)
+        state.assign(0, 1, 1)
+        with pytest.raises(ValueError):
+            color_edge_with_fan(state, 0, 1)
+
+    def test_raises_when_center_saturated(self):
+        # center 0 with both palette colors used; no way to color (0, 3)
+        state = EdgeColoringState(4, 2)
+        state.assign(0, 1, 1)
+        state.assign(0, 2, 2)
+        with pytest.raises(FanProcedureError):
+            color_edge_with_fan(state, 0, 3)

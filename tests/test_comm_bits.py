@@ -1,0 +1,148 @@
+"""Tests for bit-level encoders: round trips and cost honesty."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.comm.bits import (
+    BitReader,
+    BitWriter,
+    bit_length,
+    bitmap_cost,
+    gamma_cost,
+    uint_cost,
+    uint_width,
+)
+
+
+class TestBitLength:
+    def test_zero(self):
+        assert bit_length(0) == 0
+
+    def test_powers_of_two(self):
+        for k in range(20):
+            assert bit_length(1 << k) == k + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length(-1)
+
+
+class TestUintWidth:
+    def test_zero_bound_needs_no_bits(self):
+        assert uint_width(0) == 0
+
+    def test_small_bounds(self):
+        assert uint_width(1) == 1
+        assert uint_width(2) == 2
+        assert uint_width(3) == 2
+        assert uint_width(4) == 3
+
+    def test_cost_matches_width(self):
+        for bound in range(0, 100):
+            assert uint_cost(bound) == uint_width(bound)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uint_width(-3)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_width_suffices_for_all_values_up_to_bound(self, bound):
+        width = uint_width(bound)
+        assert bound.bit_length() <= width
+
+
+class TestGammaCost:
+    def test_known_values(self):
+        assert gamma_cost(1) == 1
+        assert gamma_cost(2) == 3
+        assert gamma_cost(3) == 3
+        assert gamma_cost(4) == 5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gamma_cost(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_formula(self, value):
+        assert gamma_cost(value) == 2 * (value.bit_length() - 1) + 1
+
+
+class TestBitmapCost:
+    def test_linear(self):
+        assert bitmap_cost(0) == 0
+        assert bitmap_cost(17) == 17
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitmap_cost(-1)
+
+
+class TestWriterReaderRoundTrip:
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    def test_bits_round_trip(self, bits):
+        writer = BitWriter()
+        for b in bits:
+            writer.write_bit(b)
+        assert writer.to_bits() == bits
+        reader = BitReader(writer.to_bits())
+        assert [reader.read_bit() for _ in bits] == bits
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_uint_round_trip(self, value):
+        width = max(value.bit_length(), 1)
+        writer = BitWriter()
+        writer.write_uint(value, width)
+        assert len(writer) == width
+        reader = BitReader(writer.to_bits())
+        assert reader.read_uint(width) == value
+
+    @given(st.integers(min_value=1, max_value=2**30))
+    def test_gamma_round_trip_and_cost(self, value):
+        writer = BitWriter()
+        writer.write_gamma(value)
+        assert len(writer) == gamma_cost(value)
+        reader = BitReader(writer.to_bits())
+        assert reader.read_gamma() == value
+
+    @given(st.lists(st.booleans(), max_size=150))
+    def test_bitmap_round_trip_and_cost(self, flags):
+        writer = BitWriter()
+        writer.write_bitmap(flags)
+        assert len(writer) == bitmap_cost(len(flags))
+        reader = BitReader(writer.to_bits())
+        assert reader.read_bitmap(len(flags)) == flags
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=2**20), st.booleans()),
+            max_size=40,
+        )
+    )
+    def test_mixed_stream(self, items):
+        writer = BitWriter()
+        for value, flag in items:
+            writer.write_gamma(value)
+            writer.write_bit(1 if flag else 0)
+        reader = BitReader(writer.to_bits())
+        for value, flag in items:
+            assert reader.read_gamma() == value
+            assert reader.read_bit() == (1 if flag else 0)
+        assert reader.remaining() == 0
+
+    def test_uint_overflow_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_uint(8, 3)
+
+    def test_read_past_end_raises(self):
+        reader = BitReader([1])
+        reader.read_bit()
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_to_bytes_pads_with_zeros(self):
+        writer = BitWriter()
+        writer.write_bitmap([True, False, True])
+        assert writer.to_bytes() == bytes([0b10100000])

@@ -1,0 +1,109 @@
+"""Tests for public/private randomness: the shared-tape contract."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.randomness import PublicRandomness, newman_overhead_bits, split_rng
+
+
+class TestSharedTapeContract:
+    """Two instances with the same seed must produce identical draws —
+    the property every protocol in the library relies on."""
+
+    def test_coins_agree(self):
+        a, b = PublicRandomness(7), PublicRandomness(7)
+        assert [a.coin() for _ in range(100)] == [b.coin() for _ in range(100)]
+
+    def test_permutations_agree(self):
+        a, b = PublicRandomness(7), PublicRandomness(7)
+        for m in (1, 2, 5, 33):
+            assert a.permutation(m) == b.permutation(m)
+
+    def test_masks_agree(self):
+        a, b = PublicRandomness(3), PublicRandomness(3)
+        assert a.sample_mask(50, 0.3) == b.sample_mask(50, 0.3)
+
+    def test_spawn_agrees_and_diverges_by_label(self):
+        a, b = PublicRandomness(1), PublicRandomness(1)
+        child_a = a.spawn("phase-1")
+        child_b = b.spawn("phase-1")
+        assert [child_a.coin() for _ in range(20)] == [
+            child_b.coin() for _ in range(20)
+        ]
+        other = PublicRandomness(1).spawn("phase-2")
+        assert [other.coin() for _ in range(20)] != [
+            PublicRandomness(1).spawn("phase-1").coin() for _ in range(20)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a, b = PublicRandomness(1), PublicRandomness(2)
+        assert [a.coin() for _ in range(50)] != [b.coin() for _ in range(50)]
+
+
+class TestDrawSemantics:
+    def test_permutation_is_a_permutation(self):
+        pub = PublicRandomness(0)
+        perm = pub.permutation(40)
+        assert sorted(perm) == list(range(40))
+
+    def test_mask_extremes(self):
+        pub = PublicRandomness(0)
+        assert pub.sample_mask(10, 1.0) == [True] * 10
+        assert pub.sample_mask(10, 0.0) == [False] * 10
+
+    def test_mask_probability_ballpark(self):
+        pub = PublicRandomness(0)
+        hits = sum(pub.sample_mask(10_000, 0.25))
+        assert 2200 < hits < 2800
+
+    def test_uniform_int_range(self):
+        pub = PublicRandomness(0)
+        values = {pub.uniform_int(3, 6) for _ in range(200)}
+        assert values == {3, 4, 5, 6}
+
+    def test_shuffled_leaves_original(self):
+        pub = PublicRandomness(0)
+        items = [1, 2, 3, 4, 5]
+        out = pub.shuffled(items)
+        assert sorted(out) == items
+        assert items == [1, 2, 3, 4, 5]
+
+    def test_coin_bias(self):
+        pub = PublicRandomness(0)
+        heads = sum(pub.coin(0.9) for _ in range(2000))
+        assert heads > 1600
+
+    def test_draws_counter(self):
+        pub = PublicRandomness(0)
+        pub.coin()
+        pub.permutation(3)
+        assert pub.draws == 2
+
+
+class TestPrivateRandomness:
+    def test_split_is_deterministic(self):
+        a = split_rng(random.Random(5), "x")
+        b = split_rng(random.Random(5), "x")
+        assert a.random() == b.random()
+
+    def test_split_differs_by_label(self):
+        a = split_rng(random.Random(5), "x")
+        b = split_rng(random.Random(5), "y")
+        assert a.random() != b.random()
+
+
+class TestNewmanOverhead:
+    def test_monotone_in_n(self):
+        assert newman_overhead_bits(1 << 20) >= newman_overhead_bits(1 << 10)
+
+    def test_monotone_in_delta(self):
+        assert newman_overhead_bits(100, 0.001) > newman_overhead_bits(100, 0.1)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            newman_overhead_bits(0)
+        with pytest.raises(ValueError):
+            newman_overhead_bits(10, 1.5)

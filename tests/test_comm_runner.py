@@ -1,0 +1,163 @@
+"""Tests for the lockstep runner, ledger, messages, and parallel composer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import (
+    BatchMsg,
+    Msg,
+    ProtocolDesyncError,
+    Transcript,
+    compose_parallel,
+    run_protocol,
+)
+
+
+def echo_party(value, rounds):
+    """Send ``value`` for ``rounds`` rounds; return everything received."""
+
+    def gen():
+        received = []
+        for _ in range(rounds):
+            reply = yield Msg(8, value)
+            received.append(reply.payload)
+        return received
+
+    return gen()
+
+
+class TestMsg:
+    def test_empty(self):
+        assert Msg.empty().nbits == 0
+        assert Msg.empty().is_empty
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Msg(-1)
+
+    def test_batch_size_is_sum(self):
+        batch = BatchMsg({"a": Msg(3), "b": Msg(5)})
+        assert batch.nbits == 8
+        assert batch.get("a").nbits == 3
+        assert batch.get("missing").is_empty
+
+
+class TestTranscript:
+    def test_round_accounting(self):
+        t = Transcript()
+        t.record_round(10, 0)
+        t.record_round(0, 7)
+        assert t.total_bits == 17
+        assert t.rounds == 2
+        assert t.messages == 2
+        assert t.bits_alice_to_bob == 10
+        assert t.bits_bob_to_alice == 7
+
+    def test_phase_attribution(self):
+        t = Transcript()
+        with t.phase("one"):
+            t.record_round(4, 4)
+        with t.phase("two"):
+            t.record_round(1, 0)
+        assert t.phase_stats("one").total_bits == 8
+        assert t.phase_stats("two").total_bits == 1
+        assert t.phase_stats("two").rounds == 1
+        assert t.phase_stats("missing").total_bits == 0
+
+    def test_nested_phases_accumulate(self):
+        t = Transcript()
+        with t.phase("outer"):
+            with t.phase("inner"):
+                t.record_round(2, 2)
+            t.record_round(1, 1)
+        assert t.phase_stats("outer").total_bits == 6
+        assert t.phase_stats("inner").total_bits == 4
+
+    def test_negative_bits_rejected(self):
+        t = Transcript()
+        with pytest.raises(ValueError):
+            t.record_round(-1, 0)
+
+
+class TestRunner:
+    def test_two_round_exchange(self):
+        a, b, t = run_protocol(echo_party("A", 2), echo_party("B", 2))
+        assert a == ["B", "B"]
+        assert b == ["A", "A"]
+        assert t.rounds == 2
+        assert t.total_bits == 32
+
+    def test_zero_round_protocol(self):
+        def silent():
+            return "done"
+            yield  # pragma: no cover - makes this a generator
+
+        a, b, t = run_protocol(silent(), silent())
+        assert a == b == "done"
+        assert t.rounds == 0
+        assert t.total_bits == 0
+
+    def test_desync_raises(self):
+        with pytest.raises(ProtocolDesyncError):
+            run_protocol(echo_party("A", 2), echo_party("B", 3))
+
+    def test_transcript_reuse_accumulates(self):
+        t = Transcript()
+        run_protocol(echo_party("A", 1), echo_party("B", 1), t)
+        run_protocol(echo_party("A", 1), echo_party("B", 1), t)
+        assert t.rounds == 2
+
+
+class TestParallelComposer:
+    def test_round_sharing(self):
+        def party(lengths):
+            gens = {k: echo_party(k, r) for k, r in lengths.items()}
+            composed = compose_parallel(gens)
+            result = yield from composed
+            return result
+
+        lengths = {"x": 1, "y": 3}
+        a, b, t = run_protocol(party(lengths), party(lengths))
+        # Round cost is the max of the sub-protocol lengths...
+        assert t.rounds == 3
+        # ...and each sub-protocol heard its counterpart the right number
+        # of times.
+        assert a["x"] == ["x"]
+        assert a["y"] == ["y", "y", "y"]
+        # Bit cost is the sum: x contributes 1 round of 8 bits per side,
+        # y contributes 3.
+        assert t.total_bits == 2 * 8 * (1 + 3)
+
+    def test_empty_composition_finishes_instantly(self):
+        def party():
+            result = yield from compose_parallel({})
+            return result
+
+        a, b, t = run_protocol(party(), party())
+        assert a == {} and b == {}
+        assert t.rounds == 0
+
+    def test_subprotocol_returning_without_yield(self):
+        def instant():
+            return 42
+            yield  # pragma: no cover
+
+        def party():
+            result = yield from compose_parallel({"i": instant(), "e": echo_party("e", 1)})
+            return result
+
+        a, _, t = run_protocol(party(), party())
+        assert a == {"i": 42, "e": ["e"]}
+        assert t.rounds == 1
+
+    def test_rejects_non_batch_peer_message(self):
+        def bad_peer():
+            yield Msg(1, "not a batch")
+
+        def party():
+            result = yield from compose_parallel({"k": echo_party("k", 1)})
+            return result
+
+        with pytest.raises(TypeError):
+            run_protocol(party(), bad_peer())

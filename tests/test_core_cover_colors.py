@@ -1,0 +1,78 @@
+"""Tests for the Lemma 5.4 cover-colors message."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import build_cover_message, decode_cover_message
+
+
+def random_available(rng, vertices, palette, min_fraction=1 / 3):
+    """Random availability sets each containing ≥ min_fraction of the palette."""
+    need = math.ceil(len(palette) * min_fraction)
+    return {
+        v: set(rng.sample(palette, rng.randint(need, len(palette))))
+        for v in vertices
+    }
+
+
+class TestBuildAndDecode:
+    def test_round_trip_assigns_available_color(self, rng):
+        palette = list(range(10, 25))  # 15 colors, like Bob's palette at Δ=16
+        for _ in range(30):
+            vertices = rng.sample(range(100), rng.randint(1, 40))
+            available = random_available(rng, vertices, palette)
+            msg = build_cover_message(vertices, available, palette)
+            assignment = decode_cover_message(vertices, msg)
+            assert set(assignment) == set(vertices)
+            for v, color in assignment.items():
+                assert color in available[v]
+                assert color in palette
+
+    def test_empty_vertex_set(self):
+        msg = build_cover_message([], {}, [1, 2, 3])
+        assert msg.colors == ()
+        assert decode_cover_message([], msg) == {}
+
+    def test_message_size_linear(self, rng):
+        """Lemma 5.4: O(n) bits total despite O(log n) cover rounds."""
+        palette = list(range(1, 16))
+        sizes = []
+        for n in (50, 100, 200, 400):
+            vertices = list(range(n))
+            available = random_available(rng, vertices, palette)
+            msg = build_cover_message(vertices, available, palette)
+            sizes.append(msg.nbits / n)
+        # Per-vertex cost roughly flat (geometric series ≤ 3n + color ids).
+        assert max(sizes) <= 2 * min(sizes) + 8
+
+    def test_cover_iterations_logarithmic(self, rng):
+        palette = list(range(1, 16))
+        vertices = list(range(500))
+        available = random_available(rng, vertices, palette)
+        msg = build_cover_message(vertices, available, palette)
+        assert len(msg.colors) <= 3 * math.log2(500) + 5
+
+    def test_rejects_empty_availability(self):
+        with pytest.raises(ValueError):
+            build_cover_message([0], {0: set()}, [1, 2])
+
+    def test_decode_rejects_wrong_vertex_set(self, rng):
+        palette = [1, 2, 3]
+        available = {0: {1}, 1: {2}}
+        msg = build_cover_message([0, 1], available, palette)
+        with pytest.raises(ValueError):
+            decode_cover_message([0, 1, 2], msg)
+
+    def test_singleton_availability_worst_case(self):
+        # Each vertex accepts exactly one distinct color: the cover needs
+        # one round per color but must still terminate and assign.
+        palette = [1, 2, 3, 4]
+        vertices = [10, 11, 12, 13]
+        available = {10 + i: {palette[i]} for i in range(4)}
+        msg = build_cover_message(vertices, available, palette)
+        assignment = decode_cover_message(vertices, msg)
+        assert assignment == {10: 1, 11: 2, 12: 3, 13: 4}

@@ -1,0 +1,185 @@
+"""End-to-end tests for Theorems 2 & 3 and their building blocks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    SMALL_DELTA_THRESHOLD,
+    run_edge_coloring,
+    run_zero_comm_edge_coloring,
+)
+from repro.core.edge_coloring import (
+    defer_heavy_edges,
+    party_palette,
+    peel_heavy_matching,
+    special_color,
+)
+from repro.graphs import (
+    assert_proper_edge_coloring,
+    barbell_of_stars,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    is_matching,
+    partition_random,
+    random_bipartite_regular,
+    random_regular_graph,
+    star_graph,
+)
+
+from .conftest import all_partitions
+
+
+class TestPalettes:
+    def test_disjoint_cover(self):
+        delta = 10
+        alice = set(party_palette("alice", delta))
+        bob = set(party_palette("bob", delta))
+        sp = special_color(delta)
+        assert len(alice) == len(bob) == delta - 1
+        assert not alice & bob
+        assert sp not in alice | bob
+        assert alice | bob | {sp} == set(range(1, 2 * delta))
+
+    def test_rejects_unknown_role(self):
+        with pytest.raises(ValueError):
+            party_palette("carol", 5)
+
+
+class TestDeferral:
+    def test_deferred_subgraph_max_degree_two(self, rng):
+        """Lemma 5.2 on random graphs."""
+        for _ in range(30):
+            g = gnp_random_graph(rng.randint(2, 30), rng.random(), rng)
+            delta = g.max_degree()
+            if delta < 2:
+                continue
+            remaining, deferred = defer_heavy_edges(g, delta - 1)
+            counts: dict[int, int] = {}
+            for u, v in deferred:
+                counts[u] = counts.get(u, 0) + 1
+                counts[v] = counts.get(v, 0) + 1
+            assert all(c <= 2 for c in counts.values())
+            # No remaining edge joins two high-degree vertices.
+            for u, v in remaining.edges():
+                assert (
+                    remaining.degree(u) < delta - 1
+                    or remaining.degree(v) < delta - 1
+                )
+            # Partition property: deferred + remaining = original.
+            assert remaining.m + len(deferred) == g.m
+
+    def test_clique_defers_heavily(self):
+        g = complete_graph(6)
+        remaining, deferred = defer_heavy_edges(g, 4)
+        assert remaining.m + len(deferred) == 15
+
+
+class TestPeeling:
+    def test_peeled_set_is_matching_and_heavy_set_independent(self, rng):
+        for _ in range(30):
+            g = gnp_random_graph(rng.randint(2, 30), rng.random(), rng)
+            delta = g.max_degree()
+            if delta == 0:
+                continue
+            remaining, peeled = peel_heavy_matching(g, delta)
+            assert is_matching(peeled)
+            heavy = {
+                v for v in remaining.vertices() if remaining.degree(v) == delta
+            }
+            assert remaining.is_independent_set(heavy)
+
+
+class TestTheorem2:
+    def test_random_graphs_all_partitions(self, rng):
+        for trial in range(15):
+            g = gnp_random_graph(rng.randint(2, 35), rng.random() * 0.7, rng)
+            delta = g.max_degree()
+            for part in all_partitions(g, rng):
+                res = run_edge_coloring(part)
+                assert set(res.alice_colors) == set(part.alice_edges)
+                assert set(res.bob_colors) == set(part.bob_edges)
+                assert_proper_edge_coloring(g, res.colors, max(2 * delta - 1, 1))
+
+    def test_structured_families(self, rng):
+        for g in (
+            cycle_graph(9),
+            star_graph(14),
+            complete_graph(12),
+            complete_bipartite(9, 9),
+            grid_graph(4, 7),
+            barbell_of_stars(8, 10),
+            random_regular_graph(60, 12, rng),
+            random_bipartite_regular(30, 9, rng),
+        ):
+            part = partition_random(g, rng)
+            res = run_edge_coloring(part)
+            assert_proper_edge_coloring(g, res.colors, 2 * g.max_degree() - 1)
+
+    def test_constant_rounds(self, rng):
+        for n in (64, 256):
+            g = random_regular_graph(n, 10, rng)
+            res = run_edge_coloring(partition_random(g, rng))
+            assert res.rounds == 2  # Algorithm 2: exactly two exchanges
+
+    def test_small_delta_single_round(self, rng):
+        g = cycle_graph(20)
+        res = run_edge_coloring(partition_random(g, rng))
+        assert res.rounds <= 1
+        assert_proper_edge_coloring(g, res.colors, 3)
+
+    def test_matching_delta_one(self, rng):
+        g = gnp_random_graph(10, 0.0, rng)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        res = run_edge_coloring(partition_random(g, rng))
+        assert res.rounds == 0
+        assert_proper_edge_coloring(g, res.colors, 1)
+
+    def test_empty_graph(self, rng):
+        g = gnp_random_graph(5, 0.0, rng)
+        res = run_edge_coloring(partition_random(g, rng))
+        assert res.colors == {}
+        assert res.total_bits == 0
+
+    def test_bits_linear_in_n(self, rng):
+        per_vertex = []
+        for n in (128, 256, 512):
+            g = random_regular_graph(n, 10, rng)
+            res = run_edge_coloring(partition_random(g, rng))
+            per_vertex.append(res.total_bits / n)
+        assert max(per_vertex) <= 2 * min(per_vertex) + 4
+
+    def test_uses_at_most_required_palette(self, rng):
+        g = random_regular_graph(40, SMALL_DELTA_THRESHOLD + 2, rng)
+        res = run_edge_coloring(partition_random(g, rng))
+        assert max(res.colors.values()) <= 2 * (SMALL_DELTA_THRESHOLD + 2) - 1
+
+
+class TestTheorem3:
+    def test_zero_communication_everywhere(self, rng):
+        for trial in range(20):
+            g = gnp_random_graph(rng.randint(2, 35), rng.random() * 0.7, rng)
+            part = partition_random(g, rng)
+            res = run_zero_comm_edge_coloring(part)
+            assert res.total_bits == 0 and res.rounds == 0
+            assert_proper_edge_coloring(g, res.colors, max(2 * g.max_degree(), 1))
+
+    def test_each_party_colors_own_edges(self, rng):
+        g = random_regular_graph(50, 7, rng)
+        part = partition_random(g, rng)
+        res = run_zero_comm_edge_coloring(part)
+        assert set(res.alice_colors) == set(part.alice_edges)
+        assert set(res.bob_colors) == set(part.bob_edges)
+
+    def test_regular_graph_all_on_one_side(self, rng):
+        from repro.graphs import partition_all_alice
+
+        g = random_regular_graph(30, 6, rng)
+        res = run_zero_comm_edge_coloring(partition_all_alice(g))
+        assert_proper_edge_coloring(g, res.colors, 12)

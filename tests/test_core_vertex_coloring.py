@@ -1,0 +1,123 @@
+"""End-to-end tests for the Theorem 1 (Δ+1)-vertex coloring protocol."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core import run_vertex_coloring
+from repro.graphs import (
+    assert_proper_vertex_coloring,
+    c4_gadget_union,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    partition_all_alice,
+    partition_random,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+from .conftest import all_partitions
+
+
+class TestCorrectness:
+    def test_random_graphs_random_partitions(self, rng):
+        for trial in range(25):
+            g = gnp_random_graph(rng.randint(2, 45), rng.random() * 0.6, rng)
+            part = partition_random(g, rng)
+            res = run_vertex_coloring(part, seed=trial)
+            assert_proper_vertex_coloring(g, res.colors, g.max_degree() + 1)
+
+    def test_partition_adversaries(self, rng):
+        g = gnp_random_graph(30, 0.35, rng)
+        for idx, part in enumerate(all_partitions(g, rng)):
+            res = run_vertex_coloring(part, seed=idx)
+            assert_proper_vertex_coloring(g, res.colors, g.max_degree() + 1)
+
+    def test_structured_families(self, rng):
+        for g in (
+            path_graph(17),
+            cycle_graph(11),
+            star_graph(12),
+            complete_graph(9),
+            grid_graph(5, 6),
+            c4_gadget_union([0, 1, 1, 0, 1]),
+        ):
+            part = partition_random(g, rng)
+            res = run_vertex_coloring(part, seed=1)
+            assert_proper_vertex_coloring(g, res.colors, g.max_degree() + 1)
+
+    def test_edgeless_graph(self, rng):
+        g = gnp_random_graph(10, 0.0, rng)
+        res = run_vertex_coloring(partition_random(g, rng), seed=0)
+        assert res.colors == {v: 1 for v in range(10)}
+        assert res.total_bits == 0 and res.rounds == 0
+
+    def test_single_vertex(self, rng):
+        g = gnp_random_graph(1, 0.0, rng)
+        res = run_vertex_coloring(partition_random(g, rng), seed=0)
+        assert res.colors == {0: 1}
+
+    def test_one_sided_partition(self, rng):
+        g = complete_graph(8)
+        res = run_vertex_coloring(partition_all_alice(g), seed=2)
+        assert_proper_vertex_coloring(g, res.colors, 8)
+
+    def test_seed_determinism(self, rng):
+        g = gnp_random_graph(25, 0.3, rng)
+        part = partition_random(g, rng)
+        a = run_vertex_coloring(part, seed=9)
+        b = run_vertex_coloring(part, seed=9)
+        assert a.colors == b.colors
+        assert a.total_bits == b.total_bits
+        assert a.rounds == b.rounds
+
+
+class TestLeftoverPath:
+    def test_forced_leftover_goes_through_d1lc(self, rng):
+        """Capping the trial iterations forces the D1LC phase to run."""
+        g = random_regular_graph(200, 8, rng)
+        part = partition_random(g, rng)
+        res = run_vertex_coloring(part, seed=4, max_trial_iterations=2)
+        assert res.leftover_size > 0
+        assert_proper_vertex_coloring(g, res.colors, 9)
+        assert res.transcript.phase_stats("d1lc_leftover").rounds > 0
+
+    def test_zero_iterations_is_pure_d1lc(self, rng):
+        g = gnp_random_graph(25, 0.3, rng)
+        part = partition_random(g, rng)
+        res = run_vertex_coloring(part, seed=4, max_trial_iterations=0)
+        assert res.leftover_size == g.n
+        assert_proper_vertex_coloring(g, res.colors, g.max_degree() + 1)
+
+
+class TestCostShape:
+    def test_bits_linear_in_n(self, rng):
+        """Theorem 1: O(n) expected bits — per-vertex cost roughly flat."""
+        per_vertex = []
+        for n in (128, 256, 512, 1024):
+            g = random_regular_graph(n, 8, rng)
+            res = run_vertex_coloring(partition_random(g, rng), seed=11)
+            per_vertex.append(res.total_bits / n)
+        assert max(per_vertex) <= 2.5 * min(per_vertex)
+
+    def test_rounds_polyloglog(self, rng):
+        """Theorem 1: O(log log n · log Δ) rounds worst case."""
+        for n in (256, 1024):
+            g = random_regular_graph(n, 8, rng)
+            res = run_vertex_coloring(partition_random(g, rng), seed=11)
+            bound = 40 * math.log2(math.log2(n)) * math.log2(9)
+            assert res.rounds <= bound
+
+    def test_rounds_grow_sublinearly(self, rng):
+        rounds = []
+        for n in (128, 1024):
+            g = random_regular_graph(n, 8, rng)
+            res = run_vertex_coloring(partition_random(g, rng), seed=11)
+            rounds.append(res.rounds)
+        # An 8x increase in n must not translate into anything close to an
+        # 8x increase in rounds (that would be FM25 behavior).
+        assert rounds[1] <= 2 * rounds[0] + 10

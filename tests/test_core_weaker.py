@@ -1,0 +1,119 @@
+"""Tests for the weaker-(2Δ−1)-edge coloring problem (Theorem 5 object)."""
+
+from __future__ import annotations
+
+from repro.core import run_edge_coloring
+from repro.core.weaker import (
+    WeakerEdgeColoringResult,
+    validate_weaker_result,
+    weaker_from_streaming,
+    weaker_from_strict,
+)
+from repro.graphs import gnp_random_graph, partition_random, random_regular_graph
+from repro.lowerbound import GreedyWStreamColorer
+
+
+class TestStrictToWeaker:
+    def test_strict_results_are_valid_weaker_results(self, rng):
+        for _ in range(10):
+            g = gnp_random_graph(rng.randint(2, 30), rng.random() * 0.6, rng)
+            part = partition_random(g, rng)
+            weaker = weaker_from_strict(run_edge_coloring(part))
+            assert validate_weaker_result(part, weaker) == []
+
+    def test_transcript_carried_over(self, rng):
+        g = random_regular_graph(40, 10, rng)
+        part = partition_random(g, rng)
+        strict = run_edge_coloring(part)
+        weaker = weaker_from_strict(strict)
+        assert weaker.total_bits == strict.total_bits
+
+
+class TestStreamingToWeaker:
+    def test_streaming_reduction_is_valid_weaker_result(self, rng):
+        g = random_regular_graph(60, 8, rng)
+        part = partition_random(g, rng)
+        weaker = weaker_from_streaming(
+            part, lambda: GreedyWStreamColorer(g.n, 8)
+        )
+        assert validate_weaker_result(part, weaker) == []
+        # Communication = streaming state (the Corollary 1.2 bridge).
+        assert weaker.total_bits == g.n * (2 * 8 - 1)
+
+    def test_streaming_output_is_genuinely_weaker(self, rng):
+        """The streamer colors edges in stream order, so whoever feeds an
+        edge reports it — ownership may differ from the partition only in
+        the strict sense, but coverage is exact and disjoint here."""
+        g = random_regular_graph(40, 6, rng)
+        part = partition_random(g, rng)
+        weaker = weaker_from_streaming(
+            part, lambda: GreedyWStreamColorer(g.n, 6)
+        )
+        reported = set(weaker.alice_reports) | set(weaker.bob_reports)
+        assert reported == set(g.edges())
+
+
+class TestValidator:
+    def make_valid(self, rng):
+        g = random_regular_graph(30, 6, rng)
+        part = partition_random(g, rng)
+        return part, weaker_from_strict(run_edge_coloring(part))
+
+    def test_detects_unreported_edge(self, rng):
+        part, weaker = self.make_valid(rng)
+        victim = next(iter(weaker.alice_reports))
+        del weaker.alice_reports[victim]
+        assert any("unreported" in p for p in validate_weaker_result(part, weaker))
+
+    def test_detects_phantom_edge(self, rng):
+        part, weaker = self.make_valid(rng)
+        non_edge = next(
+            (u, v)
+            for u in part.graph.vertices()
+            for v in part.graph.vertices()
+            if u < v and not part.graph.has_edge(u, v)
+        )
+        weaker.bob_reports[non_edge] = 1
+        assert any("non-edges" in p for p in validate_weaker_result(part, weaker))
+
+    def test_detects_disagreement(self, rng):
+        part, weaker = self.make_valid(rng)
+        edge, color = next(iter(weaker.alice_reports.items()))
+        weaker.bob_reports[edge] = color + 1
+        assert any("disagree" in p for p in validate_weaker_result(part, weaker))
+
+    def test_detects_conflict(self, rng):
+        part, weaker = self.make_valid(rng)
+        v = 0
+        neigh = sorted(part.graph.neighbors(v))
+        e1 = (min(v, neigh[0]), max(v, neigh[0]))
+        e2 = (min(v, neigh[1]), max(v, neigh[1]))
+        merged = weaker.colors
+        side = weaker.alice_reports if e1 in weaker.alice_reports else weaker.bob_reports
+        side[e1] = merged[e2]
+        assert any("share color" in p for p in validate_weaker_result(part, weaker))
+
+    def test_detects_out_of_palette(self, rng):
+        part, weaker = self.make_valid(rng)
+        edge = next(iter(weaker.alice_reports))
+        weaker.alice_reports[edge] = 999
+        assert any("palette" in p for p in validate_weaker_result(part, weaker))
+
+    def test_cross_party_report_is_legal(self, rng):
+        """The defining relaxation: Alice may report Bob's edge."""
+        part, weaker = self.make_valid(rng)
+        bob_edge = next(iter(weaker.bob_reports))
+        color = weaker.bob_reports.pop(bob_edge)
+        weaker.alice_reports[bob_edge] = color
+        assert validate_weaker_result(part, weaker) == []
+
+    def test_duplicate_agreeing_reports_are_legal(self, rng):
+        part, weaker = self.make_valid(rng)
+        bob_edge, color = next(iter(weaker.bob_reports.items()))
+        weaker.alice_reports[bob_edge] = color
+        assert validate_weaker_result(part, weaker) == []
+
+    def test_result_type_merges(self, rng):
+        part, weaker = self.make_valid(rng)
+        assert isinstance(weaker, WeakerEdgeColoringResult)
+        assert set(weaker.colors) == set(part.graph.edges())

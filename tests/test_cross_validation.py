@@ -1,0 +1,97 @@
+"""Cross-validation against networkx (when available) and internal
+differential checks between independent implementations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coloring import (
+    fournier_edge_coloring,
+    greedy_vertex_coloring,
+    vizing_edge_coloring,
+)
+from repro.core import run_edge_coloring, run_vertex_coloring, run_zero_comm_edge_coloring
+from repro.graphs import (
+    gnp_random_graph,
+    partition_random,
+    random_regular_graph,
+)
+
+from .conftest import make_fournier_instance
+
+networkx = pytest.importorskip("networkx")
+
+
+def to_networkx(graph):
+    g = networkx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestAgainstNetworkx:
+    def test_greedy_color_counts_comparable(self, rng):
+        """Our Δ+1 greedy never uses more colors than nx's largest-first
+        greedy plus the Δ+1 guarantee."""
+        for _ in range(20):
+            g = gnp_random_graph(rng.randint(2, 30), rng.random() * 0.6, rng)
+            ours = greedy_vertex_coloring(g)
+            nx_colors = networkx.greedy_color(to_networkx(g), strategy="largest_first")
+            assert max(ours.values()) <= g.max_degree() + 1
+            # Both are greedy heuristics; they must land in the same band.
+            assert max(ours.values()) <= g.max_degree() + 1
+            assert (max(nx_colors.values()) + 1) <= g.max_degree() + 1
+
+    def test_vertex_protocol_color_count_within_delta_plus_one(self, rng):
+        g = random_regular_graph(60, 8, rng)
+        part = partition_random(g, rng)
+        res = run_vertex_coloring(part, seed=5)
+        assert len(set(res.colors.values())) <= 9
+
+    def test_max_degree_agrees_with_networkx(self, rng):
+        for _ in range(20):
+            g = gnp_random_graph(rng.randint(1, 30), rng.random(), rng)
+            nxg = to_networkx(g)
+            nx_delta = max((d for _, d in nxg.degree()), default=0)
+            assert g.max_degree() == nx_delta
+
+    def test_connectedness_independent_check(self, rng):
+        # Sanity: our generators produce the edge multiset we think.
+        g = gnp_random_graph(25, 0.3, rng)
+        assert set(g.edges()) == set(map(tuple, map(sorted, to_networkx(g).edges())))
+
+
+class TestDifferentialInternal:
+    """Independent implementations must agree on invariant quantities."""
+
+    def test_vizing_and_fournier_agree_on_class_one_instances(self, rng):
+        for _ in range(20):
+            g = make_fournier_instance(rng.randint(2, 24), rng.random(), rng)
+            delta = g.max_degree()
+            if delta == 0:
+                continue
+            fournier = fournier_edge_coloring(g)
+            vizing = vizing_edge_coloring(g)
+            # Same edges colored; Fournier uses at most Δ, Vizing at most Δ+1.
+            assert set(fournier) == set(vizing) == set(g.edges())
+            assert max(fournier.values()) <= delta
+            assert max(vizing.values()) <= delta + 1
+
+    def test_theorem2_and_theorem3_color_same_edge_sets(self, rng):
+        g = random_regular_graph(40, 9, rng)
+        part = partition_random(g, rng)
+        thm2 = run_edge_coloring(part)
+        thm3 = run_zero_comm_edge_coloring(part)
+        assert set(thm2.colors) == set(thm3.colors) == set(g.edges())
+
+    def test_protocol_matches_local_color_budget(self, rng):
+        """The two-party Theorem 2 coloring never uses more colors than the
+        zero-communication Theorem 3 coloring's budget minus one."""
+        g = random_regular_graph(40, 10, rng)
+        part = partition_random(g, rng)
+        thm2 = run_edge_coloring(part)
+        thm3 = run_zero_comm_edge_coloring(part)
+        assert max(thm2.colors.values()) <= 2 * 10 - 1
+        assert max(thm3.colors.values()) <= 2 * 10

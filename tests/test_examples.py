@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs end to end and reports success."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart",
+        "frequency_assignment",
+        "link_scheduling",
+        "exam_timetabling",
+        "lower_bound_game",
+    } <= set(EXAMPLES)
+
+
+def test_quickstart_reports_all_three_theorems(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "Theorem 1" in out
+    assert "Theorem 2" in out
+    assert "Theorem 3" in out
+    assert "zero communication" in out
+
+
+def test_lower_bound_game_decodes_secret(capsys):
+    load_example("lower_bound_game").main()
+    out = capsys.readouterr().out
+    assert "decoded correctly         : True" in out

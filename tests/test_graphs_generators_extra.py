@@ -1,0 +1,125 @@
+"""Tests for the structured-family generators (hypercube, caterpillar,
+configuration model, disjoint union)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    caterpillar_graph,
+    configuration_model_graph,
+    cycle_graph,
+    disjoint_union,
+    hypercube_graph,
+    power_law_degree_sequence,
+    star_graph,
+)
+
+
+class TestHypercube:
+    def test_structure(self):
+        for d in range(0, 7):
+            g = hypercube_graph(d)
+            assert g.n == 1 << d
+            assert g.m == d * (1 << d) // 2
+            assert all(g.degree(v) == d for v in g.vertices())
+
+    def test_neighbors_differ_in_one_bit(self):
+        g = hypercube_graph(5)
+        for u, v in g.edges():
+            assert bin(u ^ v).count("1") == 1
+
+    def test_bipartite(self):
+        # Parity classes are independent sets.
+        g = hypercube_graph(4)
+        even = [v for v in g.vertices() if bin(v).count("1") % 2 == 0]
+        assert g.is_independent_set(even)
+
+    def test_rejects_negative_dimension(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(-1)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        g = caterpillar_graph(5, 3)
+        assert g.n == 20
+        assert g.m == 4 + 15  # spine + legs
+        # interior spine vertices: 2 spine edges + 3 legs
+        assert g.degree(2) == 5
+        # leaves have degree 1
+        assert g.degree(19) == 1
+
+    def test_is_a_tree(self):
+        g = caterpillar_graph(7, 2)
+        assert g.m == g.n - 1
+
+    def test_zero_legs_is_a_path(self):
+        g = caterpillar_graph(6, 0)
+        assert g.m == 5 and g.max_degree() == 2
+
+    def test_rejects_empty_spine(self):
+        with pytest.raises(ValueError):
+            caterpillar_graph(0, 2)
+
+
+class TestPowerLawSequence:
+    def test_even_sum_and_range(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            degs = power_law_degree_sequence(50, 2.5, 12, rng)
+            assert sum(degs) % 2 == 0
+            assert all(1 <= d <= 13 for d in degs)
+
+    def test_heavy_tail_shape(self):
+        rng = random.Random(2)
+        degs = power_law_degree_sequence(5000, 2.0, 30, rng)
+        ones = sum(1 for d in degs if d <= 2)
+        heavy = sum(1 for d in degs if d >= 15)
+        assert ones > 10 * heavy  # low degrees dominate
+
+    def test_rejects_bad_parameters(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, -1, 3, rng)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 2, 10, rng)
+
+
+class TestConfigurationModel:
+    def test_simple_and_degree_bounded(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            degs = power_law_degree_sequence(60, 2.2, 15, rng)
+            g = configuration_model_graph(degs, rng)
+            assert all(g.degree(v) <= degs[v] for v in g.vertices())
+            seen = set()
+            for e in g.edges():
+                assert e not in seen
+                seen.add(e)
+
+    def test_rejects_out_of_range_degree(self):
+        with pytest.raises(ValueError):
+            configuration_model_graph([5], random.Random(0))
+
+
+class TestDisjointUnion:
+    def test_blocks_are_disjoint(self):
+        a = cycle_graph(4)
+        b = star_graph(5)
+        u = disjoint_union([a, b])
+        assert u.n == 9
+        assert u.m == a.m + b.m
+        # No edge crosses the block boundary.
+        assert all((x < 4) == (y < 4) for x, y in u.edges())
+
+    def test_empty_union(self):
+        assert disjoint_union([]).n == 0
+
+    def test_degrees_preserved(self):
+        a = star_graph(4)
+        u = disjoint_union([a, a, a])
+        for block in range(3):
+            assert u.degree(block * 4) == 3

@@ -1,0 +1,128 @@
+"""Tests for the Graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphs import Graph, canonical_edge
+
+
+def graph_strategy(max_n=12):
+    """Hypothesis strategy producing small random graphs."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=0, max_value=max_n))
+        if n < 2:
+            return Graph(n)
+        edges = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ).filter(lambda e: e[0] != e[1]),
+                max_size=3 * n,
+            )
+        )
+        return Graph(n, (canonical_edge(u, v) for u, v in edges))
+
+    return build()
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_rejects_loops(self):
+        with pytest.raises(ValueError):
+            canonical_edge(3, 3)
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n == 0 and g.m == 0 and g.max_degree() == 0
+
+    def test_add_and_remove(self):
+        g = Graph(4)
+        assert g.add_edge(0, 1)
+        assert not g.add_edge(1, 0)  # duplicate
+        assert g.m == 1
+        g.remove_edge(0, 1)
+        assert g.m == 0
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_rejects_out_of_range(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+
+    def test_rejects_self_loop(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_degrees_and_neighbors(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.neighbors(0) == {1, 2, 3}
+        assert g.degrees() == [3, 1, 1, 1]
+        assert g.max_degree() == 3
+
+    def test_edge_list_sorted_canonical(self):
+        g = Graph(4, [(3, 1), (2, 0)])
+        assert g.edge_list() == [(0, 2), (1, 3)]
+
+    def test_copy_is_independent(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.m == 1 and h.m == 2
+
+    def test_union(self):
+        g = Graph(3, [(0, 1)])
+        h = Graph(3, [(1, 2), (0, 1)])
+        u = g.union(h)
+        assert u.edge_list() == [(0, 1), (1, 2)]
+        with pytest.raises(ValueError):
+            g.union(Graph(4))
+
+    def test_independent_set(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.is_independent_set([0, 2])
+        assert not g.is_independent_set([0, 1])
+        assert g.is_independent_set([])
+
+    def test_subgraph_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph_edges([(1, 2)])
+        assert sub.n == 4 and sub.edge_list() == [(1, 2)]
+
+    def test_equality(self):
+        assert Graph(3, [(0, 1)]) == Graph(3, [(1, 0)])
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+
+
+class TestGraphProperties:
+    @given(graph_strategy())
+    def test_handshake_lemma(self, g):
+        assert sum(g.degrees()) == 2 * g.m
+
+    @given(graph_strategy())
+    def test_edges_canonical_and_unique(self, g):
+        edges = list(g.edges())
+        assert all(u < v for u, v in edges)
+        assert len(edges) == len(set(edges)) == g.m
+
+    @given(graph_strategy())
+    def test_neighbor_symmetry(self, g):
+        for u, v in g.edges():
+            assert v in g.neighbors(u)
+            assert u in g.neighbors(v)
+
+    @given(graph_strategy())
+    def test_copy_equality(self, g):
+        assert g.copy() == g

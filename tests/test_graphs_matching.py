@@ -1,0 +1,116 @@
+"""Tests for Hopcroft–Karp and the Δ-perfect matching of Lemma 5.3."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    complete_bipartite,
+    delta_perfect_matching,
+    gnp_random_graph,
+    hopcroft_karp,
+    is_matching,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+from .conftest import make_fournier_instance
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching_in_even_cycle(self):
+        # bipartite 4-cycle: left {0,1}, right {10, 11}
+        adj = {0: [10, 11], 1: [10, 11]}
+        match = hopcroft_karp([0, 1], adj)
+        assert len(match) == 2
+        assert len(set(match.values())) == 2
+
+    def test_star_limits_matching(self):
+        adj = {i: [100] for i in range(5)}
+        match = hopcroft_karp(range(5), adj)
+        assert len(match) == 1
+
+    def test_empty(self):
+        assert hopcroft_karp([], {}) == {}
+
+    def test_matches_networkx_cardinality(self):
+        networkx = pytest.importorskip("networkx")
+        rng = random.Random(11)
+        for _ in range(30):
+            left = rng.randint(1, 12)
+            right = rng.randint(1, 12)
+            adj = {
+                u: [100 + v for v in range(right) if rng.random() < 0.4]
+                for u in range(left)
+            }
+            ours = hopcroft_karp(range(left), adj)
+            g = networkx.Graph()
+            g.add_nodes_from(range(left), bipartite=0)
+            g.add_nodes_from(range(100, 100 + right), bipartite=1)
+            for u, neigh in adj.items():
+                g.add_edges_from((u, v) for v in neigh)
+            theirs = networkx.bipartite.maximum_matching(g, top_nodes=range(left))
+            assert len(ours) == len(theirs) // 2
+
+    def test_result_is_valid_matching(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            left = rng.randint(1, 10)
+            adj = {
+                u: [50 + v for v in range(10) if rng.random() < 0.5]
+                for u in range(left)
+            }
+            match = hopcroft_karp(range(left), adj)
+            assert len(set(match.values())) == len(match)
+            for u, v in match.items():
+                assert v in adj[u]
+
+
+class TestDeltaPerfectMatching:
+    def test_covers_every_max_degree_vertex(self, rng):
+        for _ in range(40):
+            g = make_fournier_instance(rng.randint(2, 30), rng.random(), rng)
+            delta = g.max_degree()
+            if delta == 0:
+                continue
+            matching = delta_perfect_matching(g)
+            assert is_matching(matching)
+            covered = {v for e in matching for v in e}
+            heavy = {v for v in g.vertices() if g.degree(v) == delta}
+            assert heavy <= covered
+            for u, v in matching:
+                assert g.has_edge(u, v)
+
+    def test_star(self):
+        g = star_graph(5)
+        matching = delta_perfect_matching(g)
+        assert len(matching) == 1
+        assert 0 in matching[0]
+
+    def test_rejects_dependent_heavy_set(self):
+        g = complete_bipartite(3, 3)
+        with pytest.raises(ValueError):
+            delta_perfect_matching(g)
+
+    def test_explicit_degree_with_no_heavy_vertices(self, rng):
+        g = gnp_random_graph(10, 0.2, rng)
+        assert delta_perfect_matching(g, degree=g.max_degree() + 5) == []
+
+    def test_empty_graph(self):
+        assert delta_perfect_matching(Graph(4)) == []
+
+
+class TestIsMatching:
+    def test_accepts_disjoint(self):
+        assert is_matching([(0, 1), (2, 3)])
+
+    def test_rejects_shared_endpoint(self):
+        assert not is_matching([(0, 1), (1, 2)])
+
+    def test_rejects_loop(self):
+        assert not is_matching([(2, 2)])
+
+    def test_empty(self):
+        assert is_matching([])

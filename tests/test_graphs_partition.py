@@ -1,0 +1,120 @@
+"""Tests for edge partitions and the partitioner zoo."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    PARTITIONERS,
+    EdgePartition,
+    complete_graph,
+    gnp_random_graph,
+    partition_all_alice,
+    partition_all_bob,
+    partition_alternating,
+    partition_crossing,
+    partition_degree_split,
+    partition_random,
+)
+
+
+class TestEdgePartitionInvariants:
+    def test_edges_partitioned_exactly(self, rng):
+        g = gnp_random_graph(25, 0.3, rng)
+        part = partition_random(g, rng)
+        assert part.alice_edges | part.bob_edges == set(g.edges())
+        assert not (part.alice_edges & part.bob_edges)
+
+    def test_side_graphs_match_edge_sets(self, rng):
+        g = gnp_random_graph(25, 0.3, rng)
+        part = partition_random(g, rng)
+        assert set(part.alice_graph.edges()) == part.alice_edges
+        assert set(part.bob_graph.edges()) == part.bob_edges
+
+    def test_local_degrees_sum_to_global(self, rng):
+        g = gnp_random_graph(25, 0.4, rng)
+        part = partition_random(g, rng)
+        for v in g.vertices():
+            assert (
+                part.alice_graph.degree(v) + part.bob_graph.degree(v)
+                == g.degree(v)
+            )
+
+    def test_owner_lookup(self, rng):
+        g = gnp_random_graph(8, 0.5, rng)
+        part = partition_random(g, rng)
+        for u, v in g.edges():
+            owner = part.owner(u, v)
+            assert ((u, v) in part.alice_edges) == (owner == "alice")
+
+    def test_owner_rejects_non_edge(self, rng):
+        g = gnp_random_graph(8, 0.0, rng)
+        g.add_edge(0, 1)
+        part = partition_all_alice(g)
+        with pytest.raises(KeyError):
+            part.owner(2, 3)
+
+    def test_rejects_foreign_edges(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError):
+            EdgePartition(gnp_random_graph(4, 0.0, random.Random(0)), [(0, 1)])
+
+    def test_side_graph_accessor(self, rng):
+        g = complete_graph(5)
+        part = partition_random(g, rng)
+        assert part.side_graph("alice") is part.alice_graph
+        assert part.side_graph("bob") is part.bob_graph
+        with pytest.raises(ValueError):
+            part.side_graph("carol")
+
+    def test_public_parameters(self, rng):
+        g = complete_graph(6)
+        part = partition_random(g, rng)
+        assert part.n == 6
+        assert part.max_degree == 5
+
+
+class TestPartitioners:
+    def test_all_alice_and_all_bob(self, rng):
+        g = complete_graph(5)
+        assert len(partition_all_alice(g).bob_edges) == 0
+        assert len(partition_all_bob(g).alice_edges) == 0
+
+    def test_alternating_is_balanced(self):
+        g = complete_graph(6)
+        part = partition_alternating(g)
+        assert abs(len(part.alice_edges) - len(part.bob_edges)) <= 1
+
+    def test_degree_split_balances_every_vertex(self, rng):
+        g = complete_graph(9)
+        part = partition_degree_split(g)
+        for v in g.vertices():
+            assert abs(part.alice_graph.degree(v) - part.bob_graph.degree(v)) <= 2
+
+    def test_crossing_gives_alice_bipartite_view(self, rng):
+        g = gnp_random_graph(30, 0.3, rng)
+        part = partition_crossing(g, rng)
+        # Alice's subgraph is bipartite by construction: 2-colorable check
+        # via BFS.
+        color = {}
+        for start in range(30):
+            if start in color or part.alice_graph.degree(start) == 0:
+                continue
+            color[start] = 0
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for w in part.alice_graph.neighbors(u):
+                    if w not in color:
+                        color[w] = 1 - color[u]
+                        stack.append(w)
+                    else:
+                        assert color[w] != color[u]
+
+    def test_registry_covers_all_partitioners(self, rng):
+        g = gnp_random_graph(15, 0.4, rng)
+        for name, factory in PARTITIONERS.items():
+            part = factory(g, rng)
+            assert part.alice_edges | part.bob_edges == set(g.edges()), name

@@ -1,0 +1,93 @@
+"""Cross-protocol integration tests: all protocols on shared workloads."""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import (
+    run_flin_mittal,
+    run_greedy_binary_search,
+    run_naive_exchange,
+    run_one_round_sparsify,
+)
+from repro.core import (
+    run_edge_coloring,
+    run_vertex_coloring,
+    run_zero_comm_edge_coloring,
+)
+from repro.graphs import (
+    PARTITIONERS,
+    assert_proper_edge_coloring,
+    assert_proper_vertex_coloring,
+    gnp_with_max_degree,
+    random_regular_graph,
+)
+
+
+class TestEveryProtocolOnEveryPartitioner:
+    def test_full_matrix(self, rng):
+        g = random_regular_graph(40, 6, rng)
+        delta = 6
+        for name, factory in PARTITIONERS.items():
+            part = factory(g, rng)
+            vertex_results = [
+                run_vertex_coloring(part, seed=1),
+                run_flin_mittal(part, seed=1),
+                run_greedy_binary_search(part),
+                run_one_round_sparsify(part, seed=1),
+                run_naive_exchange(part),
+            ]
+            for res in vertex_results:
+                assert_proper_vertex_coloring(g, res.colors, delta + 1)
+            edge = run_edge_coloring(part)
+            assert_proper_edge_coloring(g, edge.colors, 2 * delta - 1)
+            zero = run_zero_comm_edge_coloring(part)
+            assert_proper_edge_coloring(g, zero.colors, 2 * delta)
+
+
+class TestHeadToHeadShapes:
+    """The qualitative comparisons the paper's contribution rests on."""
+
+    def test_ours_beats_fm25_on_rounds_at_same_bit_order(self, rng):
+        g = random_regular_graph(256, 8, rng)
+        part = PARTITIONERS["random"](g, rng)
+        ours = run_vertex_coloring(part, seed=3)
+        fm = run_flin_mittal(part, seed=3)
+        # Round separation: ours is orders of magnitude below Θ(n).
+        assert ours.rounds * 5 < fm.rounds
+        # Bits stay within a constant factor of each other.
+        assert ours.total_bits < 12 * fm.total_bits
+
+    def test_ours_beats_naive_on_bits_for_dense_graphs(self, rng):
+        g = gnp_with_max_degree(300, 0.5, 24, rng)
+        part = PARTITIONERS["random"](g, rng)
+        ours = run_vertex_coloring(part, seed=3)
+        naive = run_naive_exchange(part)
+        assert ours.total_bits < naive.total_bits
+
+    def test_edge_protocol_rounds_constant_while_vertex_grows(self, rng):
+        for n in (64, 256):
+            g = random_regular_graph(n, 10, rng)
+            part = PARTITIONERS["random"](g, rng)
+            edge = run_edge_coloring(part)
+            assert edge.rounds == 2
+
+    def test_transcript_bits_match_direction_split(self, rng):
+        g = random_regular_graph(64, 6, rng)
+        part = PARTITIONERS["random"](g, rng)
+        res = run_vertex_coloring(part, seed=5)
+        t = res.transcript
+        assert t.total_bits == t.bits_alice_to_bob + t.bits_bob_to_alice
+
+
+class TestRepeatabilityAcrossSeeds:
+    def test_many_seeds_all_proper(self, rng):
+        g = random_regular_graph(60, 6, rng)
+        part = PARTITIONERS["degree_split"](g, rng)
+        bits = []
+        for seed in range(10):
+            res = run_vertex_coloring(part, seed=seed)
+            assert_proper_vertex_coloring(g, res.colors, 7)
+            bits.append(res.total_bits)
+        # Randomized cost fluctuates but stays in one order of magnitude.
+        assert max(bits) < 10 * min(bits)

@@ -1,0 +1,69 @@
+"""Tests for the buffered W-streaming colorer (space/colors trade-off)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import assert_proper_edge_coloring, gnp_random_graph, random_regular_graph
+from repro.lowerbound import BufferedWStreamColorer, GreedyWStreamColorer, run_wstreaming
+
+
+class TestBufferedColorer:
+    def test_always_proper_any_capacity(self, rng):
+        for _ in range(30):
+            g = gnp_random_graph(rng.randint(2, 30), rng.random() * 0.7, rng)
+            if g.m == 0:
+                continue
+            cap = rng.randint(1, g.m + 2)
+            colors, _ = run_wstreaming(BufferedWStreamColorer(g.n, cap), g.edge_list())
+            assert_proper_edge_coloring(g, colors)
+
+    def test_single_flush_matches_offline_greedy_color_count(self, rng):
+        g = random_regular_graph(40, 6, rng)
+        colors, _ = run_wstreaming(
+            BufferedWStreamColorer(g.n, g.m + 1), g.edge_list()
+        )
+        assert max(colors.values()) <= 2 * 6 - 1
+
+    def test_tiny_buffer_blows_up_colors(self, rng):
+        g = random_regular_graph(60, 8, rng)
+        colors, _ = run_wstreaming(BufferedWStreamColorer(g.n, 2), g.edge_list())
+        assert max(colors.values()) > 2 * 8 - 1
+
+    def test_state_scales_with_capacity(self, rng):
+        g = random_regular_graph(100, 8, rng)
+        peaks = []
+        for cap in (8, 64, 400):
+            _, peak = run_wstreaming(BufferedWStreamColorer(g.n, cap), g.edge_list())
+            peaks.append(peak)
+        assert peaks == sorted(peaks)
+        # Large buffers use less state than greedy's O(nΔ) only when the
+        # capacity is below n·(2Δ−1)/(2·log n)-ish; at cap=8 it certainly is.
+        _, greedy_peak = run_wstreaming(GreedyWStreamColorer(g.n, 8), g.edge_list())
+        assert peaks[0] < greedy_peak
+
+    def test_flush_boundaries_use_disjoint_palettes(self, rng):
+        g = random_regular_graph(30, 4, rng)
+        algo = BufferedWStreamColorer(g.n, 10)
+        emitted: list[list[int]] = []
+        batch: list[int] = []
+        for edge in g.edge_list():
+            out = list(algo.process(edge))
+            if out:
+                emitted.append([c for _, c in out])
+        tail = [c for _, c in algo.finish()]
+        if tail:
+            emitted.append(tail)
+        del batch
+        for earlier, later in zip(emitted, emitted[1:]):
+            assert max(earlier) < min(later)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BufferedWStreamColorer(5, 0)
+
+    def test_empty_stream(self):
+        colors, peak = run_wstreaming(BufferedWStreamColorer(5, 3), [])
+        assert colors == {}

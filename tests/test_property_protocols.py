@@ -1,0 +1,94 @@
+"""Hypothesis-driven end-to-end properties of the main protocols.
+
+These tests treat each full protocol as a black box and assert its
+contract on arbitrary (small) random graphs, partitions, and seeds —
+the protocol-level analogue of the encoder round-trip tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import run_flin_mittal, run_one_round_sparsify, run_vizing_gather
+from repro.core import (
+    run_edge_coloring,
+    run_vertex_coloring,
+    run_zero_comm_edge_coloring,
+)
+from repro.graphs import (
+    PARTITIONERS,
+    gnp_random_graph,
+    is_proper_edge_coloring,
+    is_proper_vertex_coloring,
+)
+
+PARTITIONER_NAMES = sorted(PARTITIONERS)
+
+
+def draw_instance(data, max_n=22):
+    n = data.draw(st.integers(min_value=1, max_value=max_n), label="n")
+    graph_seed = data.draw(st.integers(min_value=0, max_value=10**6), label="gseed")
+    rng = random.Random(graph_seed)
+    graph = gnp_random_graph(n, rng.random(), rng)
+    pname = data.draw(st.sampled_from(PARTITIONER_NAMES), label="partitioner")
+    part = PARTITIONERS[pname](graph, rng)
+    seed = data.draw(st.integers(min_value=0, max_value=10**6), label="seed")
+    return graph, part, seed
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_theorem1_contract(data):
+    graph, part, seed = draw_instance(data)
+    res = run_vertex_coloring(part, seed=seed)
+    assert is_proper_vertex_coloring(graph, res.colors, graph.max_degree() + 1)
+    assert res.rounds <= res.transcript.rounds
+    assert res.total_bits >= 0
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_theorem2_contract(data):
+    graph, part, seed = draw_instance(data)
+    res = run_edge_coloring(part)
+    assert set(res.alice_colors) == set(part.alice_edges)
+    assert set(res.bob_colors) == set(part.bob_edges)
+    assert is_proper_edge_coloring(graph, res.colors, max(2 * graph.max_degree() - 1, 1))
+    assert res.rounds <= 2
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_theorem3_contract(data):
+    graph, part, _seed = draw_instance(data)
+    res = run_zero_comm_edge_coloring(part)
+    assert res.total_bits == 0 and res.rounds == 0
+    assert is_proper_edge_coloring(graph, res.colors, max(2 * graph.max_degree(), 1))
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_flin_mittal_contract(data):
+    graph, part, seed = draw_instance(data, max_n=16)
+    res = run_flin_mittal(part, seed=seed)
+    assert is_proper_vertex_coloring(graph, res.colors, graph.max_degree() + 1)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_one_round_sparsify_contract(data):
+    graph, part, seed = draw_instance(data, max_n=16)
+    res = run_one_round_sparsify(part, seed=seed)
+    assert is_proper_vertex_coloring(graph, res.colors, graph.max_degree() + 1)
+    assert res.rounds <= 2
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_vizing_gather_contract(data):
+    graph, part, _seed = draw_instance(data, max_n=16)
+    res = run_vizing_gather(part)
+    assert is_proper_edge_coloring(graph, res.colors, graph.max_degree() + 1)
+    assert res.rounds <= 1

@@ -1,0 +1,146 @@
+"""Stateful (rule-based) hypothesis tests for the mutable core structures.
+
+These machines hammer :class:`Graph` and :class:`EdgeColoringState` with
+arbitrary interleavings of operations, checking representation invariants
+after every step — the strongest guard against subtle state corruption in
+the structures every protocol mutates constantly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.coloring import EdgeColoringState
+from repro.graphs import Graph
+
+N = 8
+PALETTE = 5
+
+
+class GraphMachine(RuleBasedStateMachine):
+    """Graph vs a trivial reference model (a set of canonical edges)."""
+
+    def __init__(self):
+        super().__init__()
+        self.graph = Graph(N)
+        self.model: set[tuple[int, int]] = set()
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def add_edge(self, u, v):
+        if u == v:
+            return
+        edge = (min(u, v), max(u, v))
+        added = self.graph.add_edge(u, v)
+        assert added == (edge not in self.model)
+        self.model.add(edge)
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def remove_edge_if_present(self, u, v):
+        if u == v:
+            return
+        edge = (min(u, v), max(u, v))
+        if edge in self.model:
+            self.graph.remove_edge(u, v)
+            self.model.discard(edge)
+
+    @invariant()
+    def edges_match_model(self):
+        assert set(self.graph.edges()) == self.model
+        assert self.graph.m == len(self.model)
+
+    @invariant()
+    def degrees_match_model(self):
+        for v in range(N):
+            expected = sum(1 for e in self.model if v in e)
+            assert self.graph.degree(v) == expected
+
+    @invariant()
+    def handshake(self):
+        assert sum(self.graph.degrees()) == 2 * self.graph.m
+
+
+class EdgeColoringMachine(RuleBasedStateMachine):
+    """EdgeColoringState under assign/unassign/recolor/Kempe inversions."""
+
+    def __init__(self):
+        super().__init__()
+        self.state = EdgeColoringState(N, PALETTE)
+        self.model: dict[tuple[int, int], int] = {}
+
+    def _free_pairs(self):
+        pairs = []
+        for u in range(N):
+            for v in range(u + 1, N):
+                if (u, v) in self.model:
+                    continue
+                shared = [
+                    c
+                    for c in range(1, PALETTE + 1)
+                    if self.state.is_free(u, c) and self.state.is_free(v, c)
+                ]
+                if shared:
+                    pairs.append((u, v, shared))
+        return pairs
+
+    @rule(data=st.data())
+    def assign_some_edge(self, data):
+        pairs = self._free_pairs()
+        if not pairs:
+            return
+        u, v, shared = data.draw(st.sampled_from(pairs))
+        color = data.draw(st.sampled_from(shared))
+        self.state.assign(u, v, color)
+        self.model[(u, v)] = color
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def unassign_some_edge(self, data):
+        edge = data.draw(st.sampled_from(sorted(self.model)))
+        color = self.state.unassign(*edge)
+        assert color == self.model.pop(edge)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def kempe_invert(self, data):
+        start = data.draw(st.integers(0, N - 1))
+        alpha = data.draw(st.integers(1, PALETTE))
+        beta = data.draw(st.integers(1, PALETTE))
+        if alpha == beta:
+            return
+        if not self.state.is_free(start, alpha) and not self.state.is_free(
+            start, beta
+        ):
+            return
+        self.state.invert_kempe_path(start, alpha, beta)
+        self.model = dict(self.state.colors())
+
+    @invariant()
+    def colors_match_model(self):
+        assert self.state.colors() == self.model
+
+    @invariant()
+    def properness(self):
+        at_vertex: dict[int, set[int]] = {v: set() for v in range(N)}
+        for (u, v), color in self.model.items():
+            assert color not in at_vertex[u]
+            assert color not in at_vertex[v]
+            at_vertex[u].add(color)
+            at_vertex[v].add(color)
+
+    @invariant()
+    def lookup_consistency(self):
+        for (u, v), color in self.model.items():
+            assert self.state.color_of(u, v) == color
+            assert self.state.neighbor_via(u, color) == v
+            assert self.state.neighbor_via(v, color) == u
+
+
+TestGraphMachine = GraphMachine.TestCase
+TestGraphMachine.settings = settings(max_examples=30, stateful_step_count=40, deadline=None)
+
+TestEdgeColoringMachine = EdgeColoringMachine.TestCase
+TestEdgeColoringMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,87 @@
+"""Integration: all three theorems on the structured graph families.
+
+Hypercubes are the adversarial extreme for the edge protocols — *every*
+vertex has maximum degree, so Fournier's hypothesis fails globally and
+Algorithm 2 (and Theorem 3's peel) must restructure the graph before any
+class-one coloring applies.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import (
+    run_edge_coloring,
+    run_vertex_coloring,
+    run_zero_comm_edge_coloring,
+)
+from repro.graphs import (
+    caterpillar_graph,
+    configuration_model_graph,
+    disjoint_union,
+    hypercube_graph,
+    partition_degree_split,
+    partition_random,
+    power_law_degree_sequence,
+    star_graph,
+)
+from repro.verify import verify_edge_result, verify_vertex_result
+
+
+def family(rng):
+    degrees = power_law_degree_sequence(150, 2.1, 18, rng)
+    return [
+        hypercube_graph(6),
+        caterpillar_graph(40, 4),
+        configuration_model_graph(degrees, rng),
+        disjoint_union([star_graph(9)] * 10),
+    ]
+
+
+class TestTheoremsOnFamilies:
+    def test_vertex_coloring(self, rng):
+        for graph in family(rng):
+            part = partition_random(graph, rng)
+            res = run_vertex_coloring(part, seed=3)
+            verify_vertex_result(part, res).raise_if_failed()
+
+    def test_edge_coloring(self, rng):
+        for graph in family(rng):
+            part = partition_random(graph, rng)
+            res = run_edge_coloring(part)
+            verify_edge_result(part, res).raise_if_failed()
+
+    def test_zero_comm_edge_coloring(self, rng):
+        for graph in family(rng):
+            part = partition_random(graph, rng)
+            res = run_zero_comm_edge_coloring(part)
+            verify_edge_result(part, res, zero_communication=True).raise_if_failed()
+
+
+class TestHypercubeExtremes:
+    """All-max-degree graphs stress the deferral and peel machinery."""
+
+    def test_zero_comm_on_all_heavy_graph(self, rng):
+        graph = hypercube_graph(7)  # 128 vertices, all degree 7
+        for partitioner in (partition_random, partition_degree_split):
+            part = (
+                partitioner(graph, rng)
+                if partitioner is partition_random
+                else partitioner(graph)
+            )
+            res = run_zero_comm_edge_coloring(part)
+            verify_edge_result(part, res, zero_communication=True).raise_if_failed()
+
+    def test_theorem2_on_all_heavy_graph(self, rng):
+        graph = hypercube_graph(7)
+        part = partition_random(graph, rng)
+        res = run_edge_coloring(part)
+        verify_edge_result(part, res).raise_if_failed()
+        assert res.rounds <= 1  # Δ=7 routes through Lemma 5.1
+
+    def test_theorem2_on_bigger_hypercube(self, rng):
+        graph = hypercube_graph(9)  # Δ=9 ≥ 8: the full Algorithm 2 path
+        part = partition_random(graph, rng)
+        res = run_edge_coloring(part)
+        verify_edge_result(part, res).raise_if_failed()
+        assert res.rounds == 2
