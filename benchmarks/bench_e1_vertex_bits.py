@@ -4,14 +4,21 @@ Regenerates the series behind the paper's headline claim: the expected
 communication of the ``(Δ+1)``-vertex coloring protocol is ``O(n)`` bits.
 We sweep ``n`` at fixed ``Δ`` and check that per-vertex cost is flat and a
 linear fit explains the totals.
+
+Ported to :mod:`repro.engine`: each (n, seed) cell is an engine scenario
+run through :func:`repro.engine.run_scenario`, so it shares the engine's
+workload cache and every cell's coloring is validated by the protocol
+adapter.  (The cells pin explicit seeds 1–3, so they are distinct from —
+though statistically interchangeable with — the CLI's default
+``vertex/regular`` grid, which seeds itself from the workload key.)
 """
 
 from __future__ import annotations
 
 from repro.analysis import linear_fit, mean_ci, print_table
-from repro.core import run_vertex_coloring
+from repro.engine import run_scenario
 
-from .conftest import regular_workload
+from .conftest import regular_scenario
 
 SIZES = (128, 256, 512, 1024, 2048)
 DEGREE = 8
@@ -22,11 +29,12 @@ def collect_series():
     rows = []
     totals = []
     for n in SIZES:
-        bits = []
-        for seed in SEEDS:
-            part = regular_workload(n, DEGREE, seed=seed)
-            res = run_vertex_coloring(part, seed=seed)
-            bits.append(res.total_bits)
+        records = [
+            run_scenario(regular_scenario(n, DEGREE, seed, protocol="vertex"))
+            for seed in SEEDS
+        ]
+        assert all(r["valid"] for r in records)
+        bits = [r["total_bits"] for r in records]
         mean, half = mean_ci(bits)
         rows.append([n, round(mean), f"±{half:.0f}", round(mean / n, 2)])
         totals.append((n, mean))
@@ -48,7 +56,7 @@ def test_e1_bits_linear_in_n(benchmark):
     # O(n) shape: the linear fit must be essentially perfect and the
     # per-vertex cost must not drift across a 16x size range.
     assert fit.r2 > 0.99
-    per_vertex = [b / n for n, b in totals]
+    per_vertex = [row[3] for row in rows]
     assert max(per_vertex) <= 1.5 * min(per_vertex)
 
-    benchmark(lambda: run_vertex_coloring(regular_workload(512, DEGREE, 7), seed=7))
+    benchmark(lambda: run_scenario(regular_scenario(512, DEGREE, 1)))

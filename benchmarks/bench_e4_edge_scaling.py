@@ -4,14 +4,18 @@ Sweeps ``n`` at fixed ``Δ`` and ``Δ`` at fixed ``n``.  Claims to
 reproduce: bits grow linearly in ``n``; the round count is a constant 2
 (Algorithm 2's two exchanges) regardless of both parameters; bits do not
 grow with ``Δ`` beyond the cover-message constants.
+
+Ported to :mod:`repro.engine`: both ladders are engine scenario batches
+executed through :func:`repro.engine.sweep`, sharing the same cached
+workloads as ``python -m repro sweep``.
 """
 
 from __future__ import annotations
 
 from repro.analysis import linear_fit, print_table
-from repro.core import run_edge_coloring
+from repro.engine import sweep
 
-from .conftest import regular_workload
+from .conftest import regular_scenario
 
 N_SIZES = (128, 256, 512, 1024, 2048)
 DELTAS = (10, 14, 20, 28)
@@ -20,13 +24,16 @@ FIXED_N = 512
 
 
 def test_e4_edge_coloring_scaling(benchmark):
-    rows_n = []
-    totals = []
-    for n in N_SIZES:
-        res = run_edge_coloring(regular_workload(n, FIXED_DEGREE, 2))
-        rows_n.append([n, res.total_bits, round(res.total_bits / n, 2), res.rounds])
-        totals.append((n, res.total_bits))
-    fit = linear_fit([n for n, _ in totals], [b for _, b in totals])
+    records = sweep(
+        [regular_scenario(n, FIXED_DEGREE, 2, protocol="edge") for n in N_SIZES],
+        jobs=1,
+    )
+    assert all(r["valid"] for r in records)
+    rows_n = [
+        [r["n"], r["total_bits"], round(r["total_bits"] / r["n"], 2), r["rounds"]]
+        for r in records
+    ]
+    fit = linear_fit([r["n"] for r in records], [r["total_bits"] for r in records])
     print_table(
         ["n", "bits", "bits/n", "rounds"],
         rows_n,
@@ -36,20 +43,34 @@ def test_e4_edge_coloring_scaling(benchmark):
         ),
     )
     assert fit.r2 > 0.99
-    assert all(rounds == 2 for _, _, _, rounds in rows_n)
+    assert all(r["rounds"] == 2 for r in records)
 
-    rows_d = []
-    for d in DELTAS:
-        res = run_edge_coloring(regular_workload(FIXED_N, d, 2))
-        rows_d.append([d, res.total_bits, round(res.total_bits / FIXED_N, 2), res.rounds])
+    delta_records = sweep(
+        [regular_scenario(FIXED_N, d, 2, protocol="edge") for d in DELTAS],
+        jobs=1,
+    )
+    assert all(r["valid"] for r in delta_records)
+    rows_d = [
+        [
+            r["max_degree"],
+            r["total_bits"],
+            round(r["total_bits"] / FIXED_N, 2),
+            r["rounds"],
+        ]
+        for r in delta_records
+    ]
     print_table(
         ["Δ", "bits", "bits/n", "rounds"],
         rows_d,
         title=f"E4b  Theorem 2 vs Δ (n={FIXED_N})",
     )
-    assert all(rounds == 2 for _, _, _, rounds in rows_d)
+    assert all(r["rounds"] == 2 for r in delta_records)
     # Bits stay O(n): per-vertex cost bounded by a constant across Δ.
-    per_vertex = [r[2] for r in rows_d]
+    per_vertex = [row[2] for row in rows_d]
     assert max(per_vertex) <= 2 * min(per_vertex) + 8
 
-    benchmark(lambda: run_edge_coloring(regular_workload(512, FIXED_DEGREE, 4)))
+    benchmark(
+        lambda: sweep(
+            [regular_scenario(512, FIXED_DEGREE, 4, protocol="edge")], jobs=1
+        )
+    )

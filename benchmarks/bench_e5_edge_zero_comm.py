@@ -1,57 +1,56 @@
 """E5 — Theorem 3: (2Δ)-edge coloring needs zero communication.
 
-Exercises the zero-communication protocol across graph families and
-partition adversaries, verifying 0 bits / 0 rounds and a proper
-``2Δ``-coloring everywhere — plus the contrast row against Theorem 2
-(one fewer color costs Θ(n) bits, by Theorem 4 necessarily so).
+Exercises the zero-communication protocol across graph families,
+verifying 0 bits / 0 rounds and a proper ``2Δ``-coloring everywhere —
+plus the contrast row against Theorem 2 (one fewer color costs Θ(n)
+bits, by Theorem 4 necessarily so).
+
+Ported to :mod:`repro.engine`: the family zoo is drawn from the engine's
+scenario registry, so each row is one registry coordinate run under both
+the ``edge_zero_comm`` and ``edge`` protocols, with validation done by the
+protocol adapters.
 """
 
 from __future__ import annotations
 
-import random
-
 from repro.analysis import print_table
-from repro.core import run_edge_coloring, run_zero_comm_edge_coloring
-from repro.graphs import (
-    PARTITIONERS,
-    assert_proper_edge_coloring,
-    barbell_of_stars,
-    complete_graph,
-    grid_graph,
-    random_bipartite_regular,
-    random_regular_graph,
+from repro.engine import Scenario, run_scenario
+
+FAMILY_ZOO = (
+    ("random 10-regular (n=400)", "regular", (("d", 10), ("n", 400))),
+    ("complete K_24", "complete", (("n", 24),)),
+    ("grid 12x12", "grid", (("cols", 12), ("rows", 12))),
+    ("bipartite 9-regular (n=200)", "bipartite_regular", (("d", 9), ("half", 100))),
+    ("barbell of stars", "barbell", (("k", 20), ("leaves", 12))),
 )
 
 
-def families(rng):
-    return {
-        "random 10-regular (n=400)": random_regular_graph(400, 10, rng),
-        "complete K_24": complete_graph(24),
-        "grid 12x12": grid_graph(12, 12),
-        "bipartite 9-regular (n=200)": random_bipartite_regular(100, 9, rng),
-        "barbell of stars": barbell_of_stars(20, 12),
-    }
+def _scenario(family: str, params: tuple, protocol: str) -> Scenario:
+    return Scenario(
+        family=family,
+        params=params,
+        partition="random",
+        protocol=protocol,
+        seed=5,
+    )
 
 
 def test_e5_zero_communication(benchmark):
-    rng = random.Random(5)
     rows = []
-    for name, graph in families(rng).items():
-        delta = graph.max_degree()
-        part = PARTITIONERS["random"](graph, rng)
-        zero = run_zero_comm_edge_coloring(part)
-        assert zero.total_bits == 0 and zero.rounds == 0
-        assert_proper_edge_coloring(graph, zero.colors, 2 * delta)
-        thm2 = run_edge_coloring(part)
-        assert_proper_edge_coloring(graph, thm2.colors, 2 * delta - 1)
+    for label, family, params in FAMILY_ZOO:
+        zero = run_scenario(_scenario(family, params, "edge_zero_comm"))
+        assert zero["valid"]
+        assert zero["total_bits"] == 0 and zero["rounds"] == 0
+        thm2 = run_scenario(_scenario(family, params, "edge"))
+        assert thm2["valid"]
         rows.append(
             [
-                name,
-                2 * delta,
-                zero.total_bits,
-                2 * delta - 1,
-                thm2.total_bits,
-                thm2.rounds,
+                label,
+                zero["num_colors"],
+                zero["total_bits"],
+                thm2["num_colors"],
+                thm2["total_bits"],
+                thm2["rounds"],
             ]
         )
     print_table(
@@ -72,6 +71,11 @@ def test_e5_zero_communication(benchmark):
     assert all(r[2] == 0 for r in rows)
     assert all(r[4] > 0 for r in rows)
 
-    g = random_regular_graph(400, 10, random.Random(6))
-    part = PARTITIONERS["random"](g, random.Random(6))
-    benchmark(lambda: run_zero_comm_edge_coloring(part))
+    scenario = Scenario(
+        family="regular",
+        params=(("d", 10), ("n", 400)),
+        partition="random",
+        protocol="edge_zero_comm",
+        seed=6,
+    )
+    benchmark(lambda: run_scenario(scenario))

@@ -1,28 +1,41 @@
 """Shared workload builders for the benchmark harness.
 
-Every experiment (E1–E13 of DESIGN.md §4) lives in its own
-``bench_e*_*.py`` file; run them with::
+Every experiment (E1–E20) lives in its own ``bench_e*_*.py`` file; run
+them with::
 
-    pytest benchmarks/ --benchmark-only -s
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s
 
 The ``-s`` flag shows the paper-style tables each experiment prints; the
 pytest-benchmark timings quantify the simulation cost itself.
+
+Workloads route through :mod:`repro.engine`, so experiments that sweep the
+same (family, parameters, seed) coordinate share one cached graph instead
+of regenerating it, and every workload is addressable as an engine
+scenario (``python -m repro sweep`` reruns the same instances).
 """
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
-from repro.graphs import EdgePartition, partition_random, random_regular_graph
+from repro.engine import Scenario, build_partition
+from repro.graphs import EdgePartition
+
+
+def regular_scenario(n: int, d: int, seed: int, protocol: str = "vertex") -> Scenario:
+    """The engine coordinate of the default random-regular workload."""
+    return Scenario(
+        family="regular",
+        params=(("d", d), ("n", n)),
+        partition="random",
+        protocol=protocol,
+        seed=seed,
+    )
 
 
 def regular_workload(n: int, d: int, seed: int = 0) -> EdgePartition:
     """A randomly partitioned random d-regular graph — the default workload."""
-    rng = random.Random(seed)
-    graph = random_regular_graph(n, d, rng)
-    return partition_random(graph, rng)
+    return build_partition(regular_scenario(n, d, seed))
 
 
 @pytest.fixture(scope="session")

@@ -22,7 +22,9 @@ Quickstart::
 
 from . import analysis, baselines, coloring, comm, core, graphs, lowerbound, verify
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from . import engine  # noqa: E402  (needs core/graphs imported first)
 
 __all__ = [
     "analysis",
@@ -30,6 +32,7 @@ __all__ = [
     "coloring",
     "comm",
     "core",
+    "engine",
     "graphs",
     "lowerbound",
     "verify",

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+Subcommands:
+
+``sweep``
+    Run a scenario grid through :func:`repro.engine.sweep` and write
+    ``sweep.json`` + ``sweep.md`` result files.  ``--smoke`` selects the
+    small CI grid; ``--filter`` narrows any grid by name substring;
+    ``--backend`` pins or duplicates the graph backend.
+
+``bench``
+    Compare the set-based and bitset graph backends on the shared
+    medium benchmark workload (kernels + end-to-end protocols).
+
+``list-scenarios``
+    Print the scenario names a sweep would run, without running them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis.tables import format_table
+from .engine import (
+    backend_comparison,
+    default_scenarios,
+    iter_scenarios,
+    results_table,
+    smoke_scenarios,
+    sweep,
+    write_results,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Round- and communication-efficient graph coloring (PODC 2025) — "
+            "experiment engine"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep_p = sub.add_parser("sweep", help="run a scenario sweep")
+    sweep_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the small CI grid instead of the full curated grid",
+    )
+    sweep_p.add_argument(
+        "--filter",
+        default=None,
+        metavar="SUBSTR",
+        help="only scenarios whose name contains SUBSTR",
+    )
+    sweep_p.add_argument(
+        "--backend",
+        choices=("set", "bitset", "both"),
+        default=None,
+        help="pin every scenario to one graph backend (or run both)",
+    )
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: CPU count; 1 = serial)",
+    )
+    sweep_p.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="directory for sweep.json / sweep.md (default: results/)",
+    )
+
+    bench_p = sub.add_parser("bench", help="compare graph backends")
+    bench_p.add_argument("--n", type=int, default=512, help="vertices (default 512)")
+    bench_p.add_argument("--degree", type=int, default=8, help="degree (default 8)")
+    bench_p.add_argument("--seed", type=int, default=42, help="workload seed")
+    bench_p.add_argument(
+        "--repeat", type=int, default=5, help="timing repetitions (best-of)"
+    )
+
+    list_p = sub.add_parser("list-scenarios", help="print scenario names")
+    list_p.add_argument("--smoke", action="store_true", help="list the CI grid")
+    list_p.add_argument("--filter", default=None, metavar="SUBSTR")
+    list_p.add_argument(
+        "--backend", choices=("set", "bitset", "both"), default=None
+    )
+
+    return parser
+
+
+def _select_scenarios(args: argparse.Namespace):
+    grid = smoke_scenarios() if args.smoke else default_scenarios()
+    return list(iter_scenarios(grid, pattern=args.filter, backend=args.backend))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenarios = _select_scenarios(args)
+    if not scenarios:
+        print("no scenarios match the filter", file=sys.stderr)
+        return 2
+    print(f"running {len(scenarios)} scenarios ...")
+    results = sweep(scenarios, jobs=args.jobs)
+    print(results_table(results))
+    json_path, md_path = write_results(results, args.out)
+    print(f"\nwrote {json_path} and {md_path}")
+    invalid = [r["scenario"] for r in results if not r.get("valid")]
+    if invalid:
+        print(f"INVALID colorings in: {invalid}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        rows = backend_comparison(
+            n=args.n, d=args.degree, seed=args.seed, repeat=args.repeat
+        )
+    except ValueError as exc:
+        print(f"error: infeasible workload: {exc}", file=sys.stderr)
+        return 2
+    table_rows = [
+        [
+            r["kernel"],
+            f"{r['set_s'] * 1e3:.3f}",
+            f"{r['bitset_s'] * 1e3:.3f}",
+            f"{r['speedup']:.2f}x",
+        ]
+        for r in rows
+    ]
+    print(
+        format_table(
+            ["kernel", "set (ms)", "bitset (ms)", "speedup"],
+            table_rows,
+            title=(
+                f"graph backend comparison — medium workload "
+                f"(n={args.n}, d={args.degree}, seed={args.seed})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for scenario in _select_scenarios(args):
+        print(scenario.name)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "list-scenarios":
+        return _cmd_list(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

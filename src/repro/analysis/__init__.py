@@ -1,10 +1,11 @@
 """Statistics and table-rendering helpers for the experiment harness."""
 
 from .stats import FitResult, geometric_decay_rate, linear_fit, mean_ci, r_squared
-from .tables import format_table, print_table
+from .tables import format_markdown_table, format_table, print_table
 
 __all__ = [
     "FitResult",
+    "format_markdown_table",
     "format_table",
     "geometric_decay_rate",
     "linear_fit",

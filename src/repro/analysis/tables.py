@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["format_table", "print_table"]
+__all__ = ["format_markdown_table", "format_table", "print_table"]
 
 
 def format_table(
@@ -32,6 +32,31 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     for row in cells:
         lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a GitHub-flavored markdown table.
+
+    Same cell formatting as :func:`format_table`, so the console and the
+    emitted report files always show identical numbers.
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header count")
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines)
 
 

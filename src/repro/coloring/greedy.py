@@ -35,7 +35,7 @@ def greedy_vertex_coloring(
     k = graph.max_degree() + 1 if num_colors is None else num_colors
     colors: dict[int, int] = {}
     for v in order if order is not None else graph.vertices():
-        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        taken = graph.neighbor_colors(v, colors)
         color = next(c for c in range(1, k + 1) if c not in taken)
         colors[v] = color
     if len(colors) != graph.n:
@@ -91,7 +91,7 @@ def greedy_d1lc_coloring(
             )
     colors: dict[int, int] = {}
     for v in order if order is not None else graph.vertices():
-        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        taken = graph.neighbor_colors(v, colors)
         color = next(c for c in sorted(lists[v]) if c not in taken)
         colors[v] = color
     if len(colors) != graph.n:

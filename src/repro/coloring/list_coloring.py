@@ -49,7 +49,7 @@ def _random_greedy(
     order = sorted(graph.vertices(), key=lambda v: (len(lists[v]), rng.random()))
     colors: dict[int, int] = {}
     for v in order:
-        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        taken = graph.neighbor_colors(v, colors)
         available = [c for c in lists[v] if c not in taken]
         if available:
             colors[v] = rng.choice(available)
@@ -61,7 +61,7 @@ def _random_greedy(
 def _conflicts_at(graph: Graph, colors: dict[int, int], v: int) -> int:
     """Number of neighbors of ``v`` sharing its color."""
     color = colors[v]
-    return sum(1 for u in graph.neighbors(v) if colors.get(u) == color)
+    return sum(1 for u in graph.iter_neighbors(v) if colors.get(u) == color)
 
 
 def _repair(
@@ -81,12 +81,12 @@ def _repair(
         best_color = min(
             sorted(lists[v]),
             key=lambda c: (
-                sum(1 for u in graph.neighbors(v) if colors.get(u) == c),
+                sum(1 for u in graph.iter_neighbors(v) if colors.get(u) == c),
                 rng.random(),
             ),
         )
         colors[v] = best_color
-        for w in set(graph.neighbors(v)) | {v}:
+        for w in [*graph.iter_neighbors(v), v]:
             if _conflicts_at(graph, colors, w) > 0:
                 conflicted.add(w)
             else:

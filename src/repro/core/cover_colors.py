@@ -17,6 +17,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from ..comm.bits import gamma_cost, uint_cost
+from ..graphs.bitset import iter_bits
 
 __all__ = ["CoverMessage", "build_cover_message", "decode_cover_message"]
 
@@ -46,26 +47,37 @@ def build_cover_message(
     the degree bound, Lemma 5.4).  Raises ``ValueError`` if some vertex has
     no available color — a protocol-logic bug upstream.
     """
-    uncovered = sorted(low_vertices)
-    for v in uncovered:
+    base = sorted(low_vertices)
+    for v in base:
         if not available[v]:
             raise ValueError(f"vertex {v} has no available palette color")
+    # One bitmask per palette color over positions of ``base``: the greedy
+    # loop below then runs on word-parallel AND + popcount instead of
+    # per-vertex membership tests.
+    covers: dict[int, int] = {color: 0 for color in palette}
+    for pos, v in enumerate(base):
+        bit = 1 << pos
+        for color in available[v]:
+            if color in covers:
+                covers[color] |= bit
     colors: list[int] = []
     bitmaps: list[tuple[bool, ...]] = []
     nbits = 0
-    while uncovered:
+    alive = (1 << len(base)) - 1
+    while alive:
         best_color, best_count = None, -1
         for color in palette:
-            count = sum(1 for v in uncovered if color in available[v])
+            count = (covers[color] & alive).bit_count()
             if count > best_count:
                 best_color, best_count = color, count
         if best_color is None or best_count == 0:
             raise ValueError("no palette color covers any uncovered vertex")
-        flags = tuple(best_color in available[v] for v in uncovered)
+        hits = covers[best_color]
+        flags = tuple(bool((hits >> pos) & 1) for pos in iter_bits(alive))
         colors.append(best_color)
         bitmaps.append(flags)
         nbits += uint_cost(max(palette)) + len(flags)
-        uncovered = [v for v, hit in zip(uncovered, flags) if not hit]
+        alive &= ~hits
     nbits += gamma_cost(len(colors) + 1)  # announce the number of rounds
     return CoverMessage(tuple(colors), tuple(bitmaps), nbits)
 

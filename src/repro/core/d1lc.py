@@ -133,7 +133,7 @@ def d1lc_party(
 
     reply = yield Msg.empty()
     peer_edges = reply.payload
-    sparse = Graph(n, list(surviving) + list(peer_edges))
+    sparse = type(own_graph)(n, list(surviving) + list(peer_edges))
     colors: dict[int, int] | None = None
     if sparse.m <= sparsity_threshold(n_active):
         induced_sparse = _induced_on(sparse, active)
@@ -149,7 +149,7 @@ def d1lc_party(
     yield Msg(1, ("fallback", None))
     instance = yield Msg.empty()
     bob_edges, bob_lists_packed = instance.payload
-    full = Graph(n, list(own_graph.edges()) + list(bob_edges))
+    full = type(own_graph)(n, list(own_graph.edges()) + list(bob_edges))
     merged_lists = {v: set(own_lists[v]) & set(blist) for v, blist in bob_lists_packed}
     induced = _induced_on(full, active)
     local_lists = {idx: merged_lists[v] for idx, v in enumerate(active)}
@@ -174,8 +174,10 @@ def _unpack_colors(packed: Sequence[int], active: Sequence[int]) -> dict[int, in
 def _induced_on(graph: Graph, active: Sequence[int]) -> Graph:
     """The subgraph induced on ``active``, relabelled to ``0..|active|-1``."""
     index = {v: i for i, v in enumerate(active)}
-    induced = Graph(len(active))
-    for u, v in graph.edges():
-        if u in index and v in index:
-            induced.add_edge(index[u], index[v])
+    induced = type(graph)(len(active))
+    packed = graph.pack_vertices(active)
+    for v in active:
+        for u in graph.neighbors_in(v, packed):
+            if v < u:
+                induced.add_edge(index[v], index[u])
     return induced

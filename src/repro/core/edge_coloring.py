@@ -274,8 +274,7 @@ def edge_coloring_party(role: str, own_graph: Graph, delta: int) -> PartyGen:
     over_half = [2 * own_graph.degree(v) > delta for v in range(n)]
     low_vertices = [v for v in range(n) if not over_half[v]]
     available = {
-        v: {c for c in own if _color_free(colors, own_graph, v, c)}
-        for v in low_vertices
+        v: set(own) - _used_colors_at(colors, own_graph, v) for v in low_vertices
     }
     cover_msg = build_cover_message(low_vertices, available, own)
 
@@ -297,9 +296,9 @@ def edge_coloring_party(role: str, own_graph: Graph, delta: int) -> PartyGen:
 
     # --- round 2: first-seven availability of the own palette ------------
     first_seven = own[:7]
+    used_at = [_used_colors_at(colors, own_graph, v) for v in range(n)]
     own_masks = tuple(
-        tuple(_color_free(colors, own_graph, v, c) for c in first_seven)
-        for v in range(n)
+        tuple(c not in used_at[v] for c in first_seven) for v in range(n)
     )
     round2 = yield Msg(bitmap_cost(7 * n), own_masks)
     peer_masks = round2.payload
@@ -331,12 +330,19 @@ def edge_coloring_party(role: str, own_graph: Graph, delta: int) -> PartyGen:
     return colors
 
 
-def _color_free(colors: dict[Edge, int], graph: Graph, v: int, color: int) -> bool:
-    """True if no colored edge of ``graph`` at ``v`` uses ``color``."""
-    for u in graph.neighbors(v):
-        if colors.get(canonical_edge(u, v)) == color:
-            return False
-    return True
+def _used_colors_at(colors: dict[Edge, int], graph: Graph, v: int) -> set[int]:
+    """The colors of the colored edges of ``graph`` incident to ``v``.
+
+    One neighborhood scan answers every per-color availability query at
+    ``v`` — the per-(vertex, color) probing this replaces rescanned the
+    neighborhood ``Θ(Δ)`` times per vertex.
+    """
+    used = set()
+    for u in graph.iter_neighbors(v):
+        color = colors.get(canonical_edge(u, v))
+        if color is not None:
+            used.add(color)
+    return used
 
 
 def run_edge_coloring(partition: EdgePartition) -> EdgeColoringResult:

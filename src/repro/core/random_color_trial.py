@@ -80,7 +80,7 @@ def random_color_trial_party(
 
         samplers = {}
         for v in awake:
-            own_used = {colors[u] for u in own_graph.neighbors(v) if u in colors}
+            own_used = own_graph.neighbor_colors(v, colors)
             samplers[v] = color_sample_party(
                 num_colors, own_used, pub.spawn(f"rct-{iteration}-{v}")
             )
@@ -88,11 +88,11 @@ def random_color_trial_party(
 
         # One confirmation bit per awake vertex: "no conflict on my side".
         awake_set = set(awake)
+        awake_packed = own_graph.pack_vertices(awake)
         own_ok = tuple(
             all(
-                chosen.get(u) != chosen[v]
-                for u in own_graph.neighbors(v)
-                if u in awake_set
+                chosen[u] != chosen[v]
+                for u in own_graph.neighbors_in(v, awake_packed)
             )
             for v in awake
         )

@@ -65,19 +65,14 @@ def leftover_lists(
     palette = set(range(1, num_colors + 1))
     lists = {}
     for v in active:
-        used = {colors[u] for u in own_graph.neighbors(v) if u in colors}
+        used = own_graph.neighbor_colors(v, colors)
         lists[v] = palette - used
     return lists
 
 
 def leftover_graph(own_graph: Graph, active: list[int]) -> Graph:
     """This party's edges of the subgraph induced by the leftover set."""
-    active_set = set(active)
-    sub = Graph(own_graph.n)
-    for u, v in own_graph.edges():
-        if u in active_set and v in active_set:
-            sub.add_edge(u, v)
-    return sub
+    return own_graph.induced_subgraph(active)
 
 
 def run_vertex_coloring(

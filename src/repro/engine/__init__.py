@@ -1,0 +1,41 @@
+"""Parallel experiment engine: scenario registry, sweep runner, results.
+
+``repro.engine`` is the layer between the protocol library and the
+experiment harness: it names every experiment coordinate (graph family ×
+parameters × partition scheme × protocol × graph backend) as a
+:class:`Scenario`, runs batches of them — serially or across a
+``multiprocessing`` pool — with per-scenario seeding and per-process
+workload caching, and emits JSON + markdown result files.  The
+``python -m repro`` CLI and the ``benchmarks/`` experiments are thin
+clients of this module; future scaling work (sharding, async runners, new
+workload families) plugs in here.
+"""
+
+from .bench import backend_comparison, medium_workload
+from .results import results_table, write_results
+from .runner import build_partition, build_workload, run_scenario, sweep
+from .scenarios import (
+    FAMILIES,
+    PROTOCOLS,
+    Scenario,
+    default_scenarios,
+    iter_scenarios,
+    smoke_scenarios,
+)
+
+__all__ = [
+    "FAMILIES",
+    "PROTOCOLS",
+    "Scenario",
+    "backend_comparison",
+    "build_partition",
+    "build_workload",
+    "default_scenarios",
+    "iter_scenarios",
+    "medium_workload",
+    "results_table",
+    "run_scenario",
+    "smoke_scenarios",
+    "sweep",
+    "write_results",
+]

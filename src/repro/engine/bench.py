@@ -1,0 +1,117 @@
+"""Backend benchmark: set-based vs bitset graphs on one shared workload.
+
+Times the graph kernels the protocol hot paths lean on (copy for the
+Algorithm 2 surgery, induced subgraphs for the D1LC leftover instance,
+neighborhood scans for Random-Color-Trial confirmations) and the three
+end-to-end protocol drivers, on the standard ``medium_partition`` workload
+of the benchmark suite (random d-regular, n=512, d=8, seed=42) unless
+told otherwise.  Both backends run the *identical* instance — the bitset
+partition is a converted copy — so the comparison is purely about the
+adjacency representation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from ..core.edge_coloring import run_edge_coloring, run_zero_comm_edge_coloring
+from ..core.vertex_coloring import run_vertex_coloring
+from ..graphs import EdgePartition
+from .runner import build_partition
+from .scenarios import Scenario
+
+__all__ = ["backend_comparison", "medium_workload"]
+
+
+def medium_workload(n: int = 512, d: int = 8, seed: int = 42) -> EdgePartition:
+    """The benchmark suite's shared workload (randomly partitioned d-regular).
+
+    Routed through the engine's scenario cache, so ``python -m repro bench``
+    and the ``medium_partition`` pytest fixture time the identical instance.
+    """
+    scenario = Scenario(
+        family="regular",
+        params=(("d", d), ("n", n)),
+        partition="random",
+        protocol="vertex",
+        seed=seed,
+    )
+    return build_partition(scenario)
+
+
+def _time(fn: Callable[[], Any], repeat: int) -> float:
+    """Best-of-``repeat`` wall time in seconds (min damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def backend_comparison(
+    n: int = 512, d: int = 8, seed: int = 42, repeat: int = 5
+) -> list[dict[str, Any]]:
+    """Rows of ``{kernel, set_s, bitset_s, speedup}`` for the table renderers."""
+    part = medium_workload(n, d, seed)
+    bpart = part.astype("bitset")
+    g, b = part.graph, bpart.graph
+    half = list(range(0, g.n, 2))
+    packed_g = g.pack_vertices(half)
+    packed_b = b.pack_vertices(half)
+
+    def scan(graph, packed):
+        def run():
+            for v in range(graph.n):
+                graph.neighbors_in(v, packed)
+        return run
+
+    kernels: list[tuple[str, Callable[[], Any], Callable[[], Any], int]] = [
+        ("graph.copy", g.copy, b.copy, 20 * repeat),
+        (
+            "induced_subgraph(n/2)",
+            lambda: g.induced_subgraph(half),
+            lambda: b.induced_subgraph(half),
+            4 * repeat,
+        ),
+        ("neighbors_in sweep", scan(g, packed_g), scan(b, packed_b), 4 * repeat),
+        (
+            "is_independent_set(n/2)",
+            lambda: g.is_independent_set(half),
+            lambda: b.is_independent_set(half),
+            4 * repeat,
+        ),
+        (
+            "protocol: vertex (thm 1)",
+            lambda: run_vertex_coloring(part, seed=seed),
+            lambda: run_vertex_coloring(bpart, seed=seed),
+            repeat,
+        ),
+        (
+            "protocol: edge (thm 2)",
+            lambda: run_edge_coloring(part),
+            lambda: run_edge_coloring(bpart),
+            repeat,
+        ),
+        (
+            "protocol: zero-comm (thm 3)",
+            lambda: run_zero_comm_edge_coloring(part),
+            lambda: run_zero_comm_edge_coloring(bpart),
+            repeat,
+        ),
+    ]
+
+    rows = []
+    for name, set_fn, bitset_fn, reps in kernels:
+        set_s = _time(set_fn, reps)
+        bitset_s = _time(bitset_fn, reps)
+        rows.append(
+            {
+                "kernel": name,
+                "set_s": set_s,
+                "bitset_s": bitset_s,
+                "speedup": set_s / bitset_s if bitset_s > 0 else float("inf"),
+            }
+        )
+    return rows

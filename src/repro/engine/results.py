@@ -1,0 +1,68 @@
+"""Result emission: JSON records plus a markdown summary table.
+
+A sweep produces a list of flat dicts (one per scenario).  This module
+writes them to ``<out>/sweep.json`` (machine-readable, one self-contained
+document with metadata) and ``<out>/sweep.md`` (the human-readable table,
+rendered through :mod:`repro.analysis.tables` so numbers format exactly
+like the benchmark console output).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from .. import __version__
+from ..analysis.tables import format_markdown_table, format_table
+
+__all__ = ["results_table", "write_results"]
+
+_COLUMNS = (
+    ("scenario", "scenario"),
+    ("n", "n"),
+    ("max_degree", "Δ"),
+    ("num_colors", "colors"),
+    ("total_bits", "bits"),
+    ("rounds", "rounds"),
+    ("valid", "valid"),
+    ("wall_time_s", "secs"),
+)
+
+
+def results_table(
+    results: Sequence[dict[str, Any]], markdown: bool = False
+) -> str:
+    """Render sweep records as an aligned console or markdown table."""
+    headers = [label for _, label in _COLUMNS]
+    rows = [[record.get(key, "") for key, _ in _COLUMNS] for record in results]
+    title = f"sweep results ({len(results)} scenarios)"
+    if markdown:
+        return format_markdown_table(headers, rows, title=title)
+    return format_table(headers, rows, title=title)
+
+
+def write_results(
+    results: Sequence[dict[str, Any]],
+    out_dir: str | Path,
+    label: str = "sweep",
+) -> tuple[Path, Path]:
+    """Write ``<label>.json`` and ``<label>.md`` under ``out_dir``.
+
+    Returns the two paths.  The JSON document wraps the records with the
+    package version and headline counts so archived results stay
+    self-describing.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    json_path = out / f"{label}.json"
+    md_path = out / f"{label}.md"
+    document = {
+        "version": __version__,
+        "count": len(results),
+        "all_valid": all(bool(r.get("valid")) for r in results),
+        "results": list(results),
+    }
+    json_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    md_path.write_text(results_table(results, markdown=True) + "\n")
+    return json_path, md_path

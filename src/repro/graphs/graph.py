@@ -5,11 +5,22 @@ canonical ``(min, max)`` order.  The class favors the operations the
 protocols need constantly: neighbor sets, degrees, edge iteration, induced
 subgraphs, and cheap copies for the deferral/matching surgery of
 Algorithm 2.
+
+``Graph`` doubles as the *backend contract*: every method here (including
+the accessor block at the bottom) is part of the API the protocols program
+against, and :class:`repro.graphs.bitset.BitsetGraph` re-implements the
+whole surface over packed integer bitmasks.  Hot paths must go through the
+accessors — ``iter_neighbors``, ``pack_vertices``, ``neighbors_in``,
+``neighbor_colors``, ``induced_subgraph`` — rather than materializing
+``neighbors()`` sets, so each backend can use its native representation.
+Iteration orders are deterministic (increasing vertex order) so that the
+two backends drive the shared randomness identically and protocol outputs
+match bit-for-bit across backends.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
 
 __all__ = ["Edge", "Graph", "canonical_edge"]
 
@@ -95,15 +106,20 @@ class Graph:
         return max(len(neigh) for neigh in self._adj)
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate edges in canonical order."""
+        """Iterate edges in sorted canonical order.
+
+        The order is part of the backend contract: partitioners draw one
+        public coin per edge while iterating, so every backend must
+        enumerate edges identically for runs to be reproducible.
+        """
         for u in range(self.n):
-            for v in self._adj[u]:
+            for v in sorted(self._adj[u]):
                 if u < v:
                     yield (u, v)
 
     def edge_list(self) -> list[Edge]:
         """All edges as a sorted list."""
-        return sorted(self.edges())
+        return list(self.edges())
 
     def vertices(self) -> range:
         """The vertex set."""
@@ -127,10 +143,50 @@ class Graph:
         vset = set(vertices)
         return all(not (self._adj[v] & vset) for v in vset)
 
+    # -- backend-agnostic accessors ---------------------------------------
+    #
+    # The protocols' hot paths call these instead of materializing
+    # ``neighbors()``; BitsetGraph overrides them with word-parallel
+    # bitmask implementations.
+
+    def iter_neighbors(self, v: int) -> Iterator[int]:
+        """Iterate the neighbors of ``v`` in increasing order."""
+        return iter(sorted(self._adj[v]))
+
+    def pack_vertices(self, vertices: Iterable[int]) -> object:
+        """Pack a vertex collection into this backend's native set type.
+
+        The result is opaque — pass it back to :meth:`neighbors_in`.  The
+        set backend uses a frozenset; the bitset backend an int mask.
+        """
+        return frozenset(vertices)
+
+    def neighbors_in(self, v: int, packed: object) -> list[int]:
+        """Neighbors of ``v`` inside a :meth:`pack_vertices` result, sorted."""
+        return sorted(self._adj[v] & packed)  # type: ignore[operator]
+
+    def neighbor_colors(self, v: int, coloring: Mapping[int, int]) -> set[int]:
+        """The colors that ``coloring`` assigns to neighbors of ``v``."""
+        return {coloring[u] for u in self._adj[v] if u in coloring}
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """Same vertex range, keeping only edges inside ``vertices``."""
+        vset = set(vertices)
+        sub = type(self)(self.n)
+        for u in vset:
+            inside = self._adj[u] & vset
+            if inside:
+                sub._adj[u] = set(inside)
+                sub._m += len(inside)
+        sub._m //= 2
+        return sub
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self.n == other.n and self._adj == other._adj
+        if self.n != other.n or self.m != other.m:
+            return False
+        return all(self.neighbors(v) == other.neighbors(v) for v in range(self.n))
 
     def __repr__(self) -> str:
         return f"Graph(n={self.n}, m={self._m}, max_degree={self.max_degree()})"

@@ -95,7 +95,7 @@ def delta_perfect_matching(graph: Graph, degree: int | None = None) -> list[Edge
             f"degree-{target} vertices do not form an independent set; "
             "Lemma 5.3 does not apply"
         )
-    adjacency = {v: sorted(graph.neighbors(v)) for v in heavy}
+    adjacency = {v: list(graph.iter_neighbors(v)) for v in heavy}
     matching = hopcroft_karp(heavy, adjacency)
     if len(matching) != len(heavy):
         missed = sorted(set(heavy) - set(matching))[:3]

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from collections.abc import Callable, Iterable
 
+from .bitset import as_backend
 from .graph import Edge, Graph, canonical_edge
 
 __all__ = [
@@ -65,6 +66,18 @@ class EdgePartition:
         if party == "bob":
             return self.bob_graph
         raise ValueError(f"unknown party {party!r}")
+
+    def astype(self, backend: str) -> "EdgePartition":
+        """This partition with its graphs converted to ``backend``.
+
+        The edge split is carried over verbatim, so the converted partition
+        describes the *same* protocol instance — only the adjacency
+        representation changes.  Returns ``self`` when already there.
+        """
+        converted = as_backend(self.graph, backend)
+        if converted is self.graph:
+            return self
+        return EdgePartition(converted, self.alice_edges)
 
     def owner(self, u: int, v: int) -> str:
         """Which party holds edge ``{u, v}``."""

@@ -1,0 +1,112 @@
+"""Backend parity: protocols produce identical results on both backends.
+
+The bitset backend is only admissible if it is *observationally
+equivalent*: same colorings, same transcripts (bits and rounds), on the
+same instances, under the same seeds.  These tests run the full protocol
+stack on converted copies of one instance and compare everything.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coloring import (
+    fournier_edge_coloring,
+    greedy_edge_coloring,
+    greedy_vertex_coloring,
+    vizing_edge_coloring,
+)
+from repro.core import (
+    run_edge_coloring,
+    run_vertex_coloring,
+    run_zero_comm_edge_coloring,
+)
+from repro.graphs import (
+    PARTITIONERS,
+    as_backend,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    partition_random,
+    random_regular_graph,
+)
+
+
+def _pair(graph, rng):
+    part = partition_random(graph, rng)
+    return part, part.astype("bitset")
+
+
+WORKLOADS = [
+    ("regular-64-8", lambda rng: random_regular_graph(64, 8, rng)),
+    ("gnp-48", lambda rng: gnp_random_graph(48, 0.15, rng)),
+    ("grid-8x8", lambda rng: grid_graph(8, 8)),
+    ("hypercube-5", lambda rng: hypercube_graph(5)),
+]
+
+
+@pytest.mark.parametrize("name,builder", WORKLOADS)
+def test_vertex_coloring_parity(name, builder):
+    rng = random.Random(11)
+    part, bpart = _pair(builder(rng), rng)
+    a = run_vertex_coloring(part, seed=3)
+    b = run_vertex_coloring(bpart, seed=3)
+    assert a.colors == b.colors
+    assert a.total_bits == b.total_bits
+    assert a.rounds == b.rounds
+    assert a.leftover_size == b.leftover_size
+
+
+@pytest.mark.parametrize("name,builder", WORKLOADS)
+def test_edge_coloring_parity(name, builder):
+    rng = random.Random(22)
+    part, bpart = _pair(builder(rng), rng)
+    a = run_edge_coloring(part)
+    b = run_edge_coloring(bpart)
+    assert a.colors == b.colors
+    assert a.total_bits == b.total_bits
+    assert a.rounds == b.rounds
+
+
+@pytest.mark.parametrize("name,builder", WORKLOADS)
+def test_zero_comm_parity(name, builder):
+    rng = random.Random(33)
+    part, bpart = _pair(builder(rng), rng)
+    a = run_zero_comm_edge_coloring(part)
+    b = run_zero_comm_edge_coloring(bpart)
+    assert a.colors == b.colors
+    assert a.total_bits == 0 and b.total_bits == 0
+
+
+@pytest.mark.parametrize("scheme", sorted(PARTITIONERS))
+def test_partitioner_parity(scheme):
+    """Partitioners must produce the same edge split on both backends.
+
+    This pins the sorted-``edges()`` contract: partition_random draws one
+    public coin per edge in iteration order.
+    """
+    graph = random_regular_graph(40, 6, random.Random(7))
+    bitset_graph = as_backend(graph, "bitset")
+    a = PARTITIONERS[scheme](graph, random.Random(99))
+    b = PARTITIONERS[scheme](bitset_graph, random.Random(99))
+    assert set(a.alice_edges) == set(b.alice_edges)
+
+
+def test_local_coloring_algorithms_parity():
+    rng = random.Random(44)
+    graph = gnp_random_graph(40, 0.2, rng)
+    bitset_graph = as_backend(graph, "bitset")
+
+    assert greedy_vertex_coloring(graph) == greedy_vertex_coloring(bitset_graph)
+    assert greedy_edge_coloring(graph) == greedy_edge_coloring(bitset_graph)
+    assert vizing_edge_coloring(graph) == vizing_edge_coloring(bitset_graph)
+
+    # Fournier needs independent max-degree vertices.
+    from .conftest import make_fournier_instance
+
+    instance = make_fournier_instance(30, 0.25, random.Random(55))
+    assert fournier_edge_coloring(instance) == fournier_edge_coloring(
+        as_backend(instance, "bitset")
+    )

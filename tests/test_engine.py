@@ -1,0 +1,209 @@
+"""Engine smoke tests: scenarios, sweep runner, result emission, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    FAMILIES,
+    PROTOCOLS,
+    Scenario,
+    backend_comparison,
+    build_partition,
+    build_workload,
+    default_scenarios,
+    iter_scenarios,
+    results_table,
+    run_scenario,
+    smoke_scenarios,
+    sweep,
+    write_results,
+)
+from repro.__main__ import main
+
+
+def _tiny(protocol: str, backend: str = "set", partition: str = "random") -> Scenario:
+    return Scenario(
+        family="regular",
+        params=(("d", 4), ("n", 24)),
+        partition=partition,
+        protocol=protocol,
+        backend=backend,
+    )
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        Scenario("nope", (), "random", "vertex")
+    with pytest.raises(ValueError):
+        Scenario("regular", (), "nope", "vertex")
+    with pytest.raises(ValueError):
+        Scenario("regular", (), "random", "nope")
+    with pytest.raises(ValueError):
+        Scenario("regular", (), "random", "vertex", backend="nope")
+
+
+def test_scenario_name_and_seed_are_stable():
+    a = _tiny("vertex")
+    b = _tiny("vertex", backend="bitset")
+    assert a.name == "vertex/regular(d=4,n=24)/random/set"
+    assert a.coordinate == b.coordinate
+    # Seeds hash the (family, params) workload key only: every protocol,
+    # partition scheme, and backend sharing the key runs the identical
+    # graph instance.
+    assert a.effective_seed == b.effective_seed
+    assert _tiny("edge").effective_seed == a.effective_seed
+    assert _tiny("vertex", partition="all_alice").effective_seed == a.effective_seed
+    other_workload = Scenario("regular", (("d", 4), ("n", 32)), "random", "vertex")
+    assert other_workload.effective_seed != a.effective_seed
+    pinned = Scenario("regular", (("d", 4), ("n", 24)), "random", "vertex", seed=7)
+    assert pinned.effective_seed == 7
+
+
+def test_scenario_params_are_normalized():
+    a = Scenario("regular", (("n", 24), ("d", 4)), "random", "vertex")
+    b = Scenario("regular", (("d", 4), ("n", 24)), "random", "vertex")
+    assert a == b
+    assert a.name == b.name
+    assert a.effective_seed == b.effective_seed
+
+
+def test_protocols_share_cached_workload_by_default():
+    # No explicit seed: same (family, params) → same graph across protocols
+    # and partition schemes.
+    a = _tiny("vertex")
+    b = _tiny("edge")
+    c = _tiny("vertex", partition="all_alice")
+    assert build_workload(a) is build_workload(b) is build_workload(c)
+
+
+def test_workload_and_partition_caching():
+    # Distinct protocols, same (family, params, seed): the cached graph and
+    # partitioned instance must be shared, not regenerated.
+    a = Scenario("regular", (("d", 4), ("n", 24)), "random", "vertex", seed=1)
+    b = Scenario("regular", (("d", 4), ("n", 24)), "random", "edge", seed=1)
+    assert build_workload(a) is build_workload(b)
+    assert build_partition(a) is build_partition(b)
+
+
+def test_run_scenario_record_shape():
+    record = run_scenario(_tiny("vertex"))
+    for key in (
+        "scenario",
+        "protocol",
+        "family",
+        "partition",
+        "backend",
+        "seed",
+        "n",
+        "m",
+        "max_degree",
+        "total_bits",
+        "rounds",
+        "num_colors",
+        "valid",
+        "wall_time_s",
+        "params",
+    ):
+        assert key in record, key
+    assert record["valid"] is True
+    assert record["n"] == 24
+
+
+def test_every_protocol_runs_one_tiny_scenario():
+    for protocol in PROTOCOLS:
+        record = run_scenario(_tiny(protocol))
+        assert record["valid"], protocol
+        if protocol == "edge_zero_comm":
+            assert record["total_bits"] == 0 and record["rounds"] == 0
+
+
+def test_backend_rows_agree_in_sweep():
+    scenarios = [_tiny("vertex", backend=b) for b in ("set", "bitset")]
+    set_row, bitset_row = sweep(scenarios, jobs=1)
+    assert set_row["total_bits"] == bitset_row["total_bits"]
+    assert set_row["rounds"] == bitset_row["rounds"]
+
+
+def test_sweep_parallel_matches_serial():
+    scenarios = [_tiny(p) for p in ("vertex", "edge", "edge_zero_comm")]
+    serial = sweep(scenarios, jobs=1)
+    parallel = sweep(scenarios, jobs=2)
+    # wall times differ; everything else must match exactly.
+    strip = lambda rows: [
+        {k: v for k, v in r.items() if k != "wall_time_s"} for r in rows
+    ]
+    assert strip(serial) == strip(parallel)
+
+
+def test_iter_scenarios_filter_and_backend():
+    grid = smoke_scenarios()
+    only_edge = list(iter_scenarios(grid, pattern="edge/"))
+    assert only_edge and all("edge/" in s.name for s in only_edge)
+    both = list(iter_scenarios([_tiny("vertex")], backend="both"))
+    assert {s.backend for s in both} == {"set", "bitset"}
+    pinned = list(iter_scenarios(grid, backend="bitset"))
+    assert all(s.backend == "bitset" for s in pinned)
+
+
+def test_registry_grids_are_valid():
+    for scenario in default_scenarios() + smoke_scenarios():
+        assert scenario.family in FAMILIES
+        assert scenario.protocol in PROTOCOLS
+
+
+def test_write_results_and_table(tmp_path):
+    results = sweep([_tiny("vertex"), _tiny("edge_zero_comm")], jobs=1)
+    json_path, md_path = write_results(results, tmp_path, label="smoke")
+    document = json.loads(json_path.read_text())
+    assert document["count"] == 2
+    assert document["all_valid"] is True
+    assert len(document["results"]) == 2
+    markdown = md_path.read_text()
+    assert markdown.startswith("###")
+    assert "| scenario |" in markdown
+    console = results_table(results)
+    assert "sweep results (2 scenarios)" in console
+
+
+def test_backend_comparison_rows():
+    rows = backend_comparison(n=48, d=4, seed=1, repeat=1)
+    kernels = {r["kernel"] for r in rows}
+    assert "graph.copy" in kernels
+    assert all(r["set_s"] > 0 and r["bitset_s"] > 0 for r in rows)
+
+
+def test_cli_list_and_sweep(tmp_path, capsys):
+    assert main(["list-scenarios", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "vertex/regular" in out
+
+    code = main(
+        [
+            "sweep",
+            "--smoke",
+            "--filter",
+            "edge_zero_comm",
+            "--jobs",
+            "1",
+            "--out",
+            str(tmp_path / "results"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert (tmp_path / "results" / "sweep.json").exists()
+    assert (tmp_path / "results" / "sweep.md").exists()
+
+
+def test_cli_sweep_rejects_empty_filter(capsys):
+    assert main(["sweep", "--smoke", "--filter", "zzz-no-match"]) == 2
+
+
+def test_cli_bench_tiny(capsys):
+    assert main(["bench", "--n", "48", "--degree", "4", "--repeat", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "graph backend comparison" in out

@@ -1,0 +1,155 @@
+"""Unit tests for the bitset graph backend.
+
+The randomized mirror test drives a Graph and a BitsetGraph through the
+same operation sequence and asserts every query agrees — the API-contract
+complement to the protocol-level parity suite in
+``test_backend_parity.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    BitsetGraph,
+    GRAPH_BACKENDS,
+    Graph,
+    as_backend,
+    gnp_random_graph,
+    iter_bits,
+)
+
+
+def test_iter_bits_enumerates_increasing():
+    assert list(iter_bits(0)) == []
+    assert list(iter_bits(0b1011)) == [0, 1, 3]
+    big = (1 << 500) | (1 << 64) | 1
+    assert list(iter_bits(big)) == [0, 64, 500]
+
+
+def test_basic_construction_and_queries():
+    g = BitsetGraph(5, [(0, 1), (1, 2), (3, 4)])
+    assert g.n == 5 and g.m == 3
+    assert g.has_edge(0, 1) and g.has_edge(1, 0)
+    assert not g.has_edge(0, 2)
+    assert g.neighbors(1) == {0, 2}
+    assert list(g.iter_neighbors(1)) == [0, 2]
+    assert g.degree(1) == 2 and g.degree(3) == 1
+    assert g.degrees() == [1, 2, 1, 1, 1]
+    assert g.max_degree() == 2
+    assert g.edge_list() == [(0, 1), (1, 2), (3, 4)]
+    assert repr(g).startswith("BitsetGraph(")
+
+
+def test_add_remove_edge_contract():
+    g = BitsetGraph(3)
+    assert g.add_edge(0, 1) is True
+    assert g.add_edge(1, 0) is False  # already present
+    with pytest.raises(ValueError):
+        g.add_edge(0, 0)
+    with pytest.raises(ValueError):
+        g.add_edge(0, 3)
+    g.remove_edge(0, 1)
+    assert g.m == 0
+    with pytest.raises(KeyError):
+        g.remove_edge(0, 1)
+
+
+def test_copy_is_independent():
+    g = BitsetGraph(4, [(0, 1), (2, 3)])
+    clone = g.copy()
+    clone.remove_edge(0, 1)
+    assert g.has_edge(0, 1) and not clone.has_edge(0, 1)
+    assert g.m == 2 and clone.m == 1
+
+
+def test_cross_backend_equality_and_conversion():
+    edges = [(0, 1), (1, 2), (0, 3)]
+    g = Graph(4, edges)
+    b = as_backend(g, "bitset")
+    assert isinstance(b, BitsetGraph)
+    assert b == g and g == b
+    assert as_backend(b, "bitset") is b
+    back = as_backend(b, "set")
+    assert type(back) is Graph and back == g
+    with pytest.raises(ValueError):
+        as_backend(g, "quantum")
+
+
+def test_pack_and_neighbors_in():
+    g = BitsetGraph(8, [(0, 1), (0, 2), (0, 5), (3, 4)])
+    packed = g.pack_vertices([1, 5, 7])
+    assert g.neighbors_in(0, packed) == [1, 5]
+    assert g.neighbors_in(3, packed) == []
+
+
+def test_neighbor_colors():
+    g = BitsetGraph(5, [(0, 1), (0, 2), (0, 3)])
+    assert g.neighbor_colors(0, {1: 7, 3: 9}) == {7, 9}
+    assert g.neighbor_colors(4, {0: 1}) == set()
+
+
+def test_induced_subgraph_keeps_vertex_range():
+    g = BitsetGraph(6, [(0, 1), (1, 2), (2, 3), (4, 5)])
+    sub = g.induced_subgraph([1, 2, 3, 4])
+    assert sub.n == 6
+    assert sub.edge_list() == [(1, 2), (2, 3)]
+    assert sub.m == 2
+
+
+def test_is_independent_set():
+    g = BitsetGraph(5, [(0, 1), (2, 3)])
+    assert g.is_independent_set([0, 2, 4]) is True
+    assert g.is_independent_set([0, 1]) is False
+
+
+def test_union_and_subgraph_edges_preserve_backend():
+    a = BitsetGraph(4, [(0, 1)])
+    b = BitsetGraph(4, [(2, 3)])
+    merged = a.union(b)
+    assert isinstance(merged, BitsetGraph)
+    assert merged.edge_list() == [(0, 1), (2, 3)]
+    sub = merged.subgraph_edges([(0, 1)])
+    assert isinstance(sub, BitsetGraph)
+    assert sub.edge_list() == [(0, 1)]
+
+
+def test_backend_registry():
+    assert GRAPH_BACKENDS["set"] is Graph
+    assert GRAPH_BACKENDS["bitset"] is BitsetGraph
+
+
+def test_randomized_operation_mirror():
+    """Both backends must agree on every query after any operation mix."""
+    rng = random.Random(0xB175E7)
+    for _ in range(10):
+        n = rng.randint(1, 30)
+        seed_graph = gnp_random_graph(n, rng.random() * 0.6, rng)
+        g = seed_graph
+        b = as_backend(seed_graph, "bitset")
+        for _ in range(30):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if rng.random() < 0.5:
+                assert g.add_edge(u, v) == b.add_edge(u, v)
+            elif g.has_edge(u, v):
+                g.remove_edge(u, v)
+                b.remove_edge(u, v)
+        assert b == g
+        assert b.m == g.m
+        assert b.degrees() == g.degrees()
+        assert b.max_degree() == g.max_degree()
+        assert b.edge_list() == g.edge_list()
+        assert list(b.edges()) == list(g.edges())
+        sample = [v for v in range(n) if rng.random() < 0.5]
+        assert b.is_independent_set(sample) == g.is_independent_set(sample)
+        assert b.induced_subgraph(sample) == g.induced_subgraph(sample)
+        for v in range(n):
+            assert list(b.iter_neighbors(v)) == list(g.iter_neighbors(v))
+            assert b.neighbors(v) == g.neighbors(v)
+            assert b.neighbors_in(v, b.pack_vertices(sample)) == g.neighbors_in(
+                v, g.pack_vertices(sample)
+            )

@@ -33,13 +33,14 @@ def test_package_all_names_resolve(name):
 
 
 def test_top_level_subpackages():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
     for sub in (
         "analysis",
         "baselines",
         "coloring",
         "comm",
         "core",
+        "engine",
         "graphs",
         "lowerbound",
         "verify",
