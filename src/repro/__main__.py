@@ -6,11 +6,15 @@ Subcommands:
     Run a scenario grid through :func:`repro.engine.sweep` and write
     ``sweep.json`` + ``sweep.md`` result files.  ``--smoke`` selects the
     small CI grid; ``--filter`` narrows any grid by name substring;
-    ``--backend`` pins or duplicates the graph backend.
+    ``--backend`` pins or duplicates the graph backend; ``--transport``
+    pins the comm transport (lockstep / count / strict, or ``all``).
 
 ``bench``
     Compare the set-based and bitset graph backends on the shared
-    medium benchmark workload (kernels + end-to-end protocols).
+    medium benchmark workload (kernels + end-to-end protocols), under
+    ``--transport``; with ``--compare-transports``, time the protocols
+    across all three comm transports instead.  ``--json`` writes the
+    rows to a machine-readable file.
 
 ``list-scenarios``
     Print the scenario names a sweep would run, without running them.
@@ -19,8 +23,10 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .analysis.tables import format_table
 from .engine import (
@@ -30,10 +36,13 @@ from .engine import (
     results_table,
     smoke_scenarios,
     sweep,
+    transport_comparison,
     write_results,
 )
 
 __all__ = ["main"]
+
+_TRANSPORT_CHOICES = ("lockstep", "count", "strict")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pin every scenario to one graph backend (or run both)",
     )
     sweep_p.add_argument(
+        "--transport",
+        choices=_TRANSPORT_CHOICES + ("all",),
+        default="lockstep",
+        help="comm transport for every scenario (default: lockstep)",
+    )
+    sweep_p.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -78,12 +93,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for sweep.json / sweep.md (default: results/)",
     )
 
-    bench_p = sub.add_parser("bench", help="compare graph backends")
+    bench_p = sub.add_parser(
+        "bench", help="compare graph backends (or comm transports)"
+    )
     bench_p.add_argument("--n", type=int, default=512, help="vertices (default 512)")
-    bench_p.add_argument("--degree", type=int, default=8, help="degree (default 8)")
+    bench_p.add_argument(
+        "--degree",
+        type=int,
+        default=None,
+        help=(
+            "degree (default 8 for the backend comparison, 10 — the E4 "
+            "workload — with --compare-transports)"
+        ),
+    )
     bench_p.add_argument("--seed", type=int, default=42, help="workload seed")
     bench_p.add_argument(
         "--repeat", type=int, default=5, help="timing repetitions (best-of)"
+    )
+    bench_p.add_argument(
+        "--transport",
+        choices=_TRANSPORT_CHOICES,
+        default="lockstep",
+        help="comm transport for the protocol rows (default: lockstep)",
+    )
+    bench_p.add_argument(
+        "--compare-transports",
+        action="store_true",
+        help=(
+            "time the protocols across all comm transports on the E4 "
+            "edge-scaling workload instead of comparing graph backends"
+        ),
+    )
+    bench_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the bench rows to PATH as JSON",
     )
 
     list_p = sub.add_parser("list-scenarios", help="print scenario names")
@@ -92,13 +137,25 @@ def _build_parser() -> argparse.ArgumentParser:
     list_p.add_argument(
         "--backend", choices=("set", "bitset", "both"), default=None
     )
+    list_p.add_argument(
+        "--transport",
+        choices=_TRANSPORT_CHOICES + ("all",),
+        default="lockstep",
+    )
 
     return parser
 
 
 def _select_scenarios(args: argparse.Namespace):
     grid = smoke_scenarios() if args.smoke else default_scenarios()
-    return list(iter_scenarios(grid, pattern=args.filter, backend=args.backend))
+    return list(
+        iter_scenarios(
+            grid,
+            pattern=args.filter,
+            backend=args.backend,
+            transport=getattr(args, "transport", None),
+        )
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -118,10 +175,74 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_bench_json(rows, path: str, label: str) -> None:
+    document = {"bench": label, "rows": rows}
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.compare_transports:
+        if args.transport != "lockstep":
+            print(
+                "error: --transport conflicts with --compare-transports "
+                "(the comparison always runs every transport)",
+                file=sys.stderr,
+            )
+            return 2
+        degree = args.degree if args.degree is not None else 10
+        try:
+            rows = transport_comparison(
+                n=args.n, d=degree, seed=args.seed, repeat=args.repeat
+            )
+        except ValueError as exc:
+            print(f"error: infeasible workload: {exc}", file=sys.stderr)
+            return 2
+        table_rows = [
+            [
+                r["protocol"],
+                f"{r['lockstep_s'] * 1e3:.3f}",
+                f"{r['count_s'] * 1e3:.3f}",
+                f"{r['strict_s'] * 1e3:.3f}",
+                f"{r['count_speedup']:.2f}x",
+                "yes" if r["transcripts_equal"] else "NO",
+            ]
+            for r in rows
+        ]
+        print(
+            format_table(
+                [
+                    "protocol",
+                    "lockstep (ms)",
+                    "count (ms)",
+                    "strict (ms)",
+                    "count speedup",
+                    "identical",
+                ],
+                table_rows,
+                title=(
+                    f"comm transport comparison — E4 workload "
+                    f"(n={args.n}, d={degree}, seed={args.seed})"
+                ),
+            )
+        )
+        if args.json:
+            _write_bench_json(rows, args.json, "transport_comparison")
+        if not all(r["transcripts_equal"] for r in rows):
+            print("transports produced different transcripts!", file=sys.stderr)
+            return 1
+        return 0
+
+    degree = args.degree if args.degree is not None else 8
     try:
         rows = backend_comparison(
-            n=args.n, d=args.degree, seed=args.seed, repeat=args.repeat
+            n=args.n,
+            d=degree,
+            seed=args.seed,
+            repeat=args.repeat,
+            transport=args.transport,
         )
     except ValueError as exc:
         print(f"error: infeasible workload: {exc}", file=sys.stderr)
@@ -141,10 +262,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             table_rows,
             title=(
                 f"graph backend comparison — medium workload "
-                f"(n={args.n}, d={args.degree}, seed={args.seed})"
+                f"(n={args.n}, d={degree}, seed={args.seed}, "
+                f"transport={args.transport})"
             ),
         )
     )
+    if args.json:
+        _write_bench_json(rows, args.json, "backend_comparison")
     return 0
 
 

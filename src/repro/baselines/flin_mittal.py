@@ -11,49 +11,60 @@ precisely removing this round bottleneck.
 
 from __future__ import annotations
 
-from typing import Generator
-
-from ..comm.ledger import Transcript
-from ..comm.messages import Msg
 from ..comm.randomness import PublicRandomness
-from ..comm.runner import run_protocol
-from ..core.color_sample import color_sample_party
+from ..comm.transport import Channel, Transport, as_party, resolve_transport
+from ..core.color_sample import color_sample_proto
 from ..graphs.graph import Graph
 from ..graphs.partition import EdgePartition
 from .base import BaselineResult
 
-__all__ = ["flin_mittal_party", "run_flin_mittal"]
+__all__ = ["flin_mittal_party", "flin_mittal_proto", "run_flin_mittal"]
 
 
-def flin_mittal_party(
+def flin_mittal_proto(
+    ch: Channel,
     own_graph: Graph,
     num_colors: int,
     pub: PublicRandomness,
-) -> Generator[Msg, Msg, dict[int, int]]:
+):
     """One party's side of the sequential FM25 protocol."""
     order = pub.shuffled(range(own_graph.n))
     colors: dict[int, int] = {}
     for v in order:
         own_used = {colors[u] for u in own_graph.neighbors(v) if u in colors}
-        color = yield from color_sample_party(
-            num_colors, own_used, pub.spawn(f"fm-{v}")
+        color = yield from color_sample_proto(
+            ch, num_colors, own_used, pub.spawn(f"fm-{v}")
         )
         colors[v] = color
     return colors
 
 
-def run_flin_mittal(partition: EdgePartition, seed: int = 0) -> BaselineResult:
+def flin_mittal_party(own_graph: Graph, num_colors: int, pub: PublicRandomness):
+    """Legacy generator-API adapter for :func:`flin_mittal_proto`."""
+    return as_party(flin_mittal_proto, own_graph, num_colors, pub)
+
+
+def run_flin_mittal(
+    partition: EdgePartition,
+    seed: int = 0,
+    transport: str | Transport | None = None,
+) -> BaselineResult:
     """Run FM25 on an edge-partitioned graph and measure it."""
     delta = partition.max_degree
     num_colors = delta + 1
-    transcript = Transcript()
+    core = resolve_transport(transport)
+    transcript = core.new_transcript()
     if delta == 0:
         return BaselineResult(
             "flin_mittal", {v: 1 for v in range(partition.n)}, transcript, num_colors
         )
-    a_colors, b_colors, _ = run_protocol(
-        flin_mittal_party(partition.alice_graph, num_colors, PublicRandomness(seed)),
-        flin_mittal_party(partition.bob_graph, num_colors, PublicRandomness(seed)),
+    a_colors, b_colors, _ = core.run(
+        lambda ch: flin_mittal_proto(
+            ch, partition.alice_graph, num_colors, PublicRandomness(seed)
+        ),
+        lambda ch: flin_mittal_proto(
+            ch, partition.bob_graph, num_colors, PublicRandomness(seed)
+        ),
         transcript,
     )
     if a_colors != b_colors:

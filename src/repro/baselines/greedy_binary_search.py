@@ -10,23 +10,20 @@ which is exactly the gap Theorems 1/2 close.
 
 from __future__ import annotations
 
-from typing import Generator
-
-from ..comm.ledger import Transcript
-from ..comm.messages import Msg
-from ..comm.runner import run_protocol
-from ..core.slack import slack_find_party
+from ..comm.transport import Channel, Transport, as_party, resolve_transport
+from ..core.slack import slack_find_proto
 from ..graphs.graph import Graph
 from ..graphs.partition import EdgePartition
 from .base import BaselineResult
 
-__all__ = ["greedy_binary_search_party", "run_greedy_binary_search"]
+__all__ = [
+    "greedy_binary_search_party",
+    "greedy_binary_search_proto",
+    "run_greedy_binary_search",
+]
 
 
-def greedy_binary_search_party(
-    own_graph: Graph,
-    num_colors: int,
-) -> Generator[Msg, Msg, dict[int, int]]:
+def greedy_binary_search_proto(ch: Channel, own_graph: Graph, num_colors: int):
     """One party's side of the deterministic greedy protocol."""
     ground = list(range(num_colors))
     colors: dict[int, int] = {}
@@ -34,16 +31,25 @@ def greedy_binary_search_party(
         own_used = {
             colors[u] - 1 for u in own_graph.neighbors(v) if u in colors
         }
-        position = yield from slack_find_party(ground, own_used)
+        position = yield from slack_find_proto(ch, ground, own_used)
         colors[v] = position + 1
     return colors
 
 
-def run_greedy_binary_search(partition: EdgePartition) -> BaselineResult:
+def greedy_binary_search_party(own_graph: Graph, num_colors: int):
+    """Legacy generator-API adapter for :func:`greedy_binary_search_proto`."""
+    return as_party(greedy_binary_search_proto, own_graph, num_colors)
+
+
+def run_greedy_binary_search(
+    partition: EdgePartition,
+    transport: str | Transport | None = None,
+) -> BaselineResult:
     """Run the deterministic greedy + binary-search protocol, measured."""
     delta = partition.max_degree
     num_colors = delta + 1
-    transcript = Transcript()
+    core = resolve_transport(transport)
+    transcript = core.new_transcript()
     if delta == 0:
         return BaselineResult(
             "greedy_binary_search",
@@ -51,9 +57,9 @@ def run_greedy_binary_search(partition: EdgePartition) -> BaselineResult:
             transcript,
             num_colors,
         )
-    a_colors, b_colors, _ = run_protocol(
-        greedy_binary_search_party(partition.alice_graph, num_colors),
-        greedy_binary_search_party(partition.bob_graph, num_colors),
+    a_colors, b_colors, _ = core.run(
+        lambda ch: greedy_binary_search_proto(ch, partition.alice_graph, num_colors),
+        lambda ch: greedy_binary_search_proto(ch, partition.bob_graph, num_colors),
         transcript,
     )
     if a_colors != b_colors:

@@ -8,42 +8,47 @@ compared against (it loses by a factor ``Θ(Δ log n)`` on dense graphs).
 
 from __future__ import annotations
 
-from typing import Generator
-
 from ..comm.bits import gamma_cost, uint_cost
-from ..comm.ledger import Transcript
-from ..comm.messages import Msg
-from ..comm.runner import run_protocol
+from ..comm.codecs import edge_list_codec
+from ..comm.transport import Channel, Transport, as_party, resolve_transport
 from ..coloring.greedy import greedy_vertex_coloring
 from ..graphs.graph import Graph
 from ..graphs.partition import EdgePartition
 from .base import BaselineResult
 
-__all__ = ["naive_exchange_party", "run_naive_exchange"]
+__all__ = ["naive_exchange_party", "naive_exchange_proto", "run_naive_exchange"]
 
 
-def naive_exchange_party(
-    own_graph: Graph,
-    num_colors: int,
-) -> Generator[Msg, Msg, dict[int, int]]:
+def naive_exchange_proto(ch: Channel, own_graph: Graph, num_colors: int):
     """One party's side of the full-exchange protocol."""
     n = own_graph.n
     edges = tuple(own_graph.edges())
     edge_width = 2 * uint_cost(max(n - 1, 1))
     cost = gamma_cost(len(edges) + 1) + len(edges) * edge_width
-    reply = yield Msg(cost, edges)
-    full = Graph(n, list(edges) + list(reply.payload))
+    peer_edges = yield from ch.send(
+        cost, edges, codec=edge_list_codec(n)
+    )
+    full = Graph(n, list(edges) + list(peer_edges))
     return greedy_vertex_coloring(full, num_colors=num_colors)
 
 
-def run_naive_exchange(partition: EdgePartition) -> BaselineResult:
+def naive_exchange_party(own_graph: Graph, num_colors: int):
+    """Legacy generator-API adapter for :func:`naive_exchange_proto`."""
+    return as_party(naive_exchange_proto, own_graph, num_colors)
+
+
+def run_naive_exchange(
+    partition: EdgePartition,
+    transport: str | Transport | None = None,
+) -> BaselineResult:
     """Run the naive baseline on an edge-partitioned graph, measured."""
     delta = partition.max_degree
     num_colors = delta + 1
-    transcript = Transcript()
-    a_colors, b_colors, _ = run_protocol(
-        naive_exchange_party(partition.alice_graph, num_colors),
-        naive_exchange_party(partition.bob_graph, num_colors),
+    core = resolve_transport(transport)
+    transcript = core.new_transcript()
+    a_colors, b_colors, _ = core.run(
+        lambda ch: naive_exchange_proto(ch, partition.alice_graph, num_colors),
+        lambda ch: naive_exchange_proto(ch, partition.bob_graph, num_colors),
         transcript,
     )
     if a_colors != b_colors:

@@ -18,20 +18,23 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Generator
 
 from ..comm.bits import gamma_cost, uint_cost
-from ..comm.ledger import Transcript
-from ..comm.messages import Msg
+from ..comm.codecs import edge_list_codec
 from ..comm.randomness import PublicRandomness
-from ..comm.runner import run_protocol
+from ..comm.transport import Channel, Transport, as_party, resolve_transport
 from ..coloring.greedy import greedy_vertex_coloring
 from ..coloring.list_coloring import solve_list_coloring
 from ..graphs.graph import Graph
 from ..graphs.partition import EdgePartition
 from .base import BaselineResult
 
-__all__ = ["one_round_sparsify_party", "run_one_round_sparsify", "ack_list_size"]
+__all__ = [
+    "ack_list_size",
+    "one_round_sparsify_party",
+    "one_round_sparsify_proto",
+    "run_one_round_sparsify",
+]
 
 #: Multiplier on ``log₂ n`` for the per-vertex list size of [ACK19].
 LIST_FACTOR = 4.0
@@ -43,12 +46,13 @@ def ack_list_size(n: int, num_colors: int) -> int:
     return min(size, num_colors)
 
 
-def one_round_sparsify_party(
+def one_round_sparsify_proto(
+    ch: Channel,
     own_graph: Graph,
     num_colors: int,
     pub: PublicRandomness,
     solver_seed: int,
-) -> Generator[Msg, Msg, dict[int, int]]:
+):
     """One party's side of the one-round sparsification protocol."""
     n = own_graph.n
     ell = ack_list_size(n, num_colors)
@@ -61,8 +65,9 @@ def one_round_sparsify_party(
     ]
     edge_width = 2 * uint_cost(max(n - 1, 1))
     cost = gamma_cost(len(conflicts) + 1) + len(conflicts) * edge_width
-    reply = yield Msg(cost, tuple(conflicts))
-    peer_conflicts = reply.payload
+    peer_conflicts = yield from ch.send(
+        cost, tuple(conflicts), codec=edge_list_codec(n)
+    )
 
     sparsified = Graph(n, list(conflicts) + list(peer_conflicts))
     colors = solve_list_coloring(sparsified, lists, random.Random(solver_seed))
@@ -72,16 +77,33 @@ def one_round_sparsify_party(
     # Fallback (whp unreachable): exchange everything, color identically.
     edges = tuple(own_graph.edges())
     cost = gamma_cost(len(edges) + 1) + len(edges) * edge_width
-    reply = yield Msg(cost, edges)
-    full = Graph(n, list(edges) + list(reply.payload))
+    peer_edges = yield from ch.send(
+        cost, edges, codec=edge_list_codec(n)
+    )
+    full = Graph(n, list(edges) + list(peer_edges))
     return greedy_vertex_coloring(full, num_colors=num_colors)
 
 
-def run_one_round_sparsify(partition: EdgePartition, seed: int = 0) -> BaselineResult:
+def one_round_sparsify_party(
+    own_graph: Graph,
+    num_colors: int,
+    pub: PublicRandomness,
+    solver_seed: int,
+):
+    """Legacy generator-API adapter for :func:`one_round_sparsify_proto`."""
+    return as_party(one_round_sparsify_proto, own_graph, num_colors, pub, solver_seed)
+
+
+def run_one_round_sparsify(
+    partition: EdgePartition,
+    seed: int = 0,
+    transport: str | Transport | None = None,
+) -> BaselineResult:
     """Run the one-round protocol on an edge-partitioned graph, measured."""
     delta = partition.max_degree
     num_colors = delta + 1
-    transcript = Transcript()
+    core = resolve_transport(transport)
+    transcript = core.new_transcript()
     if delta == 0:
         return BaselineResult(
             "one_round_sparsify",
@@ -89,12 +111,12 @@ def run_one_round_sparsify(partition: EdgePartition, seed: int = 0) -> BaselineR
             transcript,
             num_colors,
         )
-    a_colors, b_colors, _ = run_protocol(
-        one_round_sparsify_party(
-            partition.alice_graph, num_colors, PublicRandomness(seed), seed + 1
+    a_colors, b_colors, _ = core.run(
+        lambda ch: one_round_sparsify_proto(
+            ch, partition.alice_graph, num_colors, PublicRandomness(seed), seed + 1
         ),
-        one_round_sparsify_party(
-            partition.bob_graph, num_colors, PublicRandomness(seed), seed + 1
+        lambda ch: one_round_sparsify_proto(
+            ch, partition.bob_graph, num_colors, PublicRandomness(seed), seed + 1
         ),
         transcript,
     )

@@ -13,24 +13,18 @@ experiment's contrast row shows how far this anchor sits above Theorem 2's
 
 from __future__ import annotations
 
-from typing import Generator
-
 from ..comm.bits import gamma_cost, uint_cost
-from ..comm.ledger import Transcript
-from ..comm.messages import Msg
-from ..comm.runner import run_protocol
+from ..comm.codecs import edge_list_codec
+from ..comm.transport import Channel, Transport, as_party, resolve_transport
 from ..coloring.vizing import vizing_edge_coloring
-from ..graphs.graph import Edge, Graph, canonical_edge
+from ..graphs.graph import Graph, canonical_edge
 from ..graphs.partition import EdgePartition
 from .base import BaselineResult
 
-__all__ = ["run_vizing_gather", "vizing_gather_party"]
+__all__ = ["run_vizing_gather", "vizing_gather_party", "vizing_gather_proto"]
 
 
-def vizing_gather_party(
-    own_graph: Graph,
-    num_colors: int,
-) -> Generator[Msg, Msg, dict[Edge, int]]:
+def vizing_gather_proto(ch: Channel, own_graph: Graph, num_colors: int):
     """One party's side: ship everything, Vizing-color the union locally.
 
     Returns only the colors of this party's own edges (the model's output
@@ -40,8 +34,10 @@ def vizing_gather_party(
     edges = tuple(own_graph.edges())
     edge_width = 2 * uint_cost(max(n - 1, 1))
     cost = gamma_cost(len(edges) + 1) + len(edges) * edge_width
-    reply = yield Msg(cost, edges)
-    union = Graph(n, list(edges) + list(reply.payload))
+    peer_edges = yield from ch.send(
+        cost, edges, codec=edge_list_codec(n)
+    )
+    union = Graph(n, list(edges) + list(peer_edges))
     full_coloring = vizing_edge_coloring(union, num_colors=num_colors)
     return {
         canonical_edge(u, v): full_coloring[canonical_edge(u, v)]
@@ -49,7 +45,15 @@ def vizing_gather_party(
     }
 
 
-def run_vizing_gather(partition: EdgePartition) -> BaselineResult:
+def vizing_gather_party(own_graph: Graph, num_colors: int):
+    """Legacy generator-API adapter for :func:`vizing_gather_proto`."""
+    return as_party(vizing_gather_proto, own_graph, num_colors)
+
+
+def run_vizing_gather(
+    partition: EdgePartition,
+    transport: str | Transport | None = None,
+) -> BaselineResult:
     """Measure the trivial ``(Δ+1)``-edge coloring protocol.
 
     The result's ``colors`` hold the union coloring; ``num_colors`` is the
@@ -57,10 +61,11 @@ def run_vizing_gather(partition: EdgePartition) -> BaselineResult:
     """
     delta = partition.max_degree
     num_colors = max(delta + 1, 1)
-    transcript = Transcript()
-    alice, bob, _ = run_protocol(
-        vizing_gather_party(partition.alice_graph, num_colors),
-        vizing_gather_party(partition.bob_graph, num_colors),
+    core = resolve_transport(transport)
+    transcript = core.new_transcript()
+    alice, bob, _ = core.run(
+        lambda ch: vizing_gather_proto(ch, partition.alice_graph, num_colors),
+        lambda ch: vizing_gather_proto(ch, partition.bob_graph, num_colors),
         transcript,
     )
     merged = dict(alice)

@@ -4,9 +4,17 @@ This package is the "model of computation" the paper assumes — Yao's
 two-party model over an edge-partitioned graph with public randomness and
 simultaneous-exchange rounds — implemented as a deterministic lockstep
 simulator with exact bit accounting.
+
+Protocols talk to the substrate through the :class:`Channel` API
+(``send``/``exchange``, ``phase`` scoping, keyed ``parallel``
+sub-channels) backed by one of three pluggable transports: ``lockstep``
+(reference semantics), ``count`` (no payload wrappers or round logs — the
+fast path for large sweeps), and ``strict`` (every payload encoded through
+the codecs, declared sizes verified on every message).
 """
 
 from .codecs import (
+    CodecMismatchError,
     decode_bounded_count,
     decode_color_vector,
     decode_cover_payload,
@@ -17,6 +25,7 @@ from .codecs import (
     encode_cover_payload,
     encode_edge_list,
     encode_flag_bitmap,
+    verify_declared_cost,
 )
 from .bits import (
     BitReader,
@@ -31,17 +40,36 @@ from .ledger import PhaseStats, Transcript
 from .messages import BatchMsg, Msg
 from .parallel import compose_parallel
 from .randomness import PublicRandomness, newman_overhead_bits, split_rng
-from .runner import ProtocolDesyncError, run_protocol
+from .transport import (
+    TRANSPORTS,
+    Channel,
+    CountOnlyTransport,
+    LockstepTransport,
+    ProtocolDesyncError,
+    StrictTransport,
+    Transport,
+    as_party,
+    resolve_transport,
+)
+from .runner import run_protocol
 
 __all__ = [
     "BatchMsg",
     "BitReader",
     "BitWriter",
+    "Channel",
+    "CodecMismatchError",
+    "CountOnlyTransport",
+    "LockstepTransport",
     "Msg",
     "PhaseStats",
     "ProtocolDesyncError",
     "PublicRandomness",
+    "StrictTransport",
+    "TRANSPORTS",
     "Transcript",
+    "Transport",
+    "as_party",
     "bit_length",
     "bitmap_cost",
     "compose_parallel",
@@ -57,8 +85,10 @@ __all__ = [
     "encode_flag_bitmap",
     "gamma_cost",
     "newman_overhead_bits",
+    "resolve_transport",
     "run_protocol",
     "split_rng",
     "uint_cost",
     "uint_width",
+    "verify_declared_cost",
 ]

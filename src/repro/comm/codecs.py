@@ -21,11 +21,13 @@ Payload shapes covered (everything the paper's protocols send):
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 from .bits import BitReader, BitWriter, gamma_cost, uint_cost
 
 __all__ = [
+    "Codec",
+    "CodecMismatchError",
     "decode_bounded_count",
     "decode_color_vector",
     "decode_cover_payload",
@@ -35,8 +37,18 @@ __all__ = [
     "encode_color_vector",
     "encode_cover_payload",
     "encode_edge_list",
+    "edge_list_codec",
     "encode_flag_bitmap",
+    "verify_declared_cost",
 ]
+
+#: A codec, for strict-transport purposes, is any callable turning a
+#: payload into the exact bit sequence the declared cost accounts for.
+Codec = Callable[[object], Sequence[int]]
+
+
+class CodecMismatchError(RuntimeError):
+    """A message's declared ``nbits`` disagrees with its real encoding."""
 
 
 # -- bounded counts ---------------------------------------------------------
@@ -94,6 +106,16 @@ def decode_edge_list(bits: Sequence[int], n: int) -> list[tuple[int, int]]:
     count = reader.read_gamma() - 1
     width = uint_cost(max(n - 1, 1))
     return [(reader.read_uint(width), reader.read_uint(width)) for _ in range(count)]
+
+
+def edge_list_codec(n: int) -> "Codec":
+    """Strict-transport codec for an edge-list payload on ``n`` vertices.
+
+    Pairs with :func:`edge_list_cost` as the declared size; every
+    edge-shipping send site (D1LC gather, the gather-style baselines)
+    uses this one codec.
+    """
+    return lambda edges: encode_edge_list(edges, n)
 
 
 # -- packed color vectors ---------------------------------------------------
@@ -160,3 +182,74 @@ def decode_cover_payload(
         bitmaps.append(flags)
         length = sum(1 for f in flags if not f)
     return colors, bitmaps
+
+
+# -- strict-transport verification -------------------------------------------
+
+
+def _infer_encoding(payload: object, nbits: int) -> Sequence[int]:
+    """Encode shapes the strict transport can check without an explicit codec.
+
+    Integers encode as a fixed-width uint of exactly the declared width
+    (so an under-declared width is caught by the encoder itself), and
+    flat boolean sequences encode as bitmaps.  Anything else needs an
+    explicit codec at the ``Channel.send`` call site.
+    """
+    if payload is None:
+        if nbits == 0:
+            return ()
+        raise CodecMismatchError(
+            f"empty payload cannot account for {nbits} declared bits"
+        )
+    if isinstance(payload, bool):
+        payload = int(payload)
+    if isinstance(payload, int):
+        writer = BitWriter()
+        try:
+            writer.write_uint(payload, nbits)
+        except ValueError as exc:
+            raise CodecMismatchError(
+                f"integer payload {payload} does not fit the declared "
+                f"{nbits}-bit width"
+            ) from exc
+        return writer.to_bits()
+    if isinstance(payload, (tuple, list)) and all(
+        isinstance(flag, bool) for flag in payload
+    ):
+        return encode_flag_bitmap(payload)
+    raise CodecMismatchError(
+        f"no default codec for payload of type {type(payload).__name__}; "
+        "pass codec= at the Channel.send call site"
+    )
+
+
+def verify_declared_cost(
+    nbits: int,
+    payload: object,
+    codec: Codec | None = None,
+) -> None:
+    """Assert a message's declared size equals its real encoded length.
+
+    The strict transport calls this on every message: ``codec`` (when
+    given) must return the exact bit sequence the declared cost pays for;
+    without one, the payload is encoded by shape inference
+    (:func:`_infer_encoding`).  Raises :class:`CodecMismatchError` on any
+    disagreement — an under-declared message can never slip through a
+    strict run.
+    """
+    if codec is not None:
+        try:
+            bits = codec(payload)
+        except CodecMismatchError:
+            raise
+        except (ValueError, EOFError) as exc:
+            raise CodecMismatchError(
+                f"codec failed to encode payload for a declared "
+                f"{nbits}-bit message: {exc}"
+            ) from exc
+    else:
+        bits = _infer_encoding(payload, nbits)
+    if len(bits) != nbits:
+        raise CodecMismatchError(
+            f"declared {nbits} bits but the codec encoded {len(bits)} bits"
+        )

@@ -31,15 +31,24 @@ class PhaseStats:
 
 
 class Transcript:
-    """Mutable record of the communication cost of a protocol execution."""
+    """Mutable record of the communication cost of a protocol execution.
 
-    def __init__(self) -> None:
+    ``record_log=False`` disables the per-round log (the raw material for
+    round-profile experiments) while keeping every aggregate — totals,
+    rounds, messages, per-phase stats — bit-for-bit identical.  The
+    count-only transport uses it to skip the per-round list append on
+    large sweeps.
+    """
+
+    def __init__(self, record_log: bool = True) -> None:
         self.bits_alice_to_bob = 0
         self.bits_bob_to_alice = 0
         self.rounds = 0
         self.messages = 0
+        self.record_log = record_log
         #: Per-round (alice→bob, bob→alice) bit pairs, in round order —
-        #: the raw material for round-profile experiments.
+        #: the raw material for round-profile experiments.  Stays empty
+        #: when ``record_log`` is false.
         self.round_log: list[tuple[int, int]] = []
         self._phases: dict[str, PhaseStats] = {}
         self._active_phases: list[str] = []
@@ -74,23 +83,82 @@ class Transcript:
             if popped != name:  # pragma: no cover - defensive
                 raise RuntimeError(f"phase nesting corrupted: {popped} != {name}")
 
-    def record_round(self, bits_a_to_b: int, bits_b_to_a: int) -> None:
-        """Record one simultaneous exchange round."""
+    def record_round(
+        self,
+        bits_a_to_b: int,
+        bits_b_to_a: int,
+        phases: tuple[str, ...] = (),
+    ) -> None:
+        """Record one simultaneous exchange round.
+
+        ``phases`` names additional phases (beyond the ones opened with
+        :meth:`phase`) to attribute this round to — the transports pass
+        the parties' channel-level phase stack here.  A name appearing in
+        both sources is attributed once.
+        """
         if bits_a_to_b < 0 or bits_b_to_a < 0:
             raise ValueError("bit counts must be non-negative")
         self.rounds += 1
         self.bits_alice_to_bob += bits_a_to_b
         self.bits_bob_to_alice += bits_b_to_a
-        self.round_log.append((bits_a_to_b, bits_b_to_a))
+        if self.record_log:
+            self.round_log.append((bits_a_to_b, bits_b_to_a))
         if bits_a_to_b:
             self.messages += 1
         if bits_b_to_a:
             self.messages += 1
-        for name in self._active_phases:
-            stats = self._phases[name]
-            stats.rounds += 1
+        if phases or self._active_phases:
+            self._attribute(bits_a_to_b, bits_b_to_a, 1, phases)
+
+    def _attribute(
+        self,
+        bits_a_to_b: int,
+        bits_b_to_a: int,
+        rounds: int,
+        phases: tuple[str, ...],
+    ) -> None:
+        """Attribute a (possibly multi-round) cost to every active phase.
+
+        The active set is the union of the externally opened phases
+        (:meth:`phase`) and the transport-supplied channel stack, each
+        name counted once.
+        """
+        active = self._active_phases
+        if phases:
+            extra = [name for name in phases if name not in active]
+            names = [*active, *extra] if extra else active
+        else:
+            names = active
+        for name in names:
+            stats = self._phases.setdefault(name, PhaseStats())
+            stats.rounds += rounds
             stats.bits_alice_to_bob += bits_a_to_b
             stats.bits_bob_to_alice += bits_b_to_a
+
+    def record_segment(
+        self,
+        bits_a_to_b: int,
+        bits_b_to_a: int,
+        rounds: int,
+        messages: int,
+        phases: tuple[str, ...] = (),
+    ) -> None:
+        """Record ``rounds`` exchange rounds in bulk.
+
+        The count-only transport accumulates contiguous rounds sharing one
+        phase stack and flushes them here, producing aggregates identical
+        to ``rounds`` individual :meth:`record_round` calls (``messages``
+        must be the number of non-empty directed messages in the segment).
+        The per-round log is never reconstructed.
+        """
+        if bits_a_to_b < 0 or bits_b_to_a < 0 or rounds < 0 or messages < 0:
+            raise ValueError("segment totals must be non-negative")
+        self.rounds += rounds
+        self.bits_alice_to_bob += bits_a_to_b
+        self.bits_bob_to_alice += bits_b_to_a
+        self.messages += messages
+        if phases or self._active_phases:
+            self._attribute(bits_a_to_b, bits_b_to_a, rounds, phases)
 
     def summary(self) -> dict[str, int]:
         """Headline numbers as a plain dict (for tables and logs)."""

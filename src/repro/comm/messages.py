@@ -33,8 +33,13 @@ class Msg:
 
     @staticmethod
     def empty() -> "Msg":
-        """A zero-bit message (silence in a simultaneous round)."""
-        return Msg(0, None)
+        """The zero-bit message (silence in a simultaneous round).
+
+        Returns a cached singleton: the dataclass is frozen, so every
+        silent round can share one instance instead of allocating a fresh
+        zero-bit message.
+        """
+        return EMPTY_MSG
 
     @property
     def is_empty(self) -> bool:
@@ -55,4 +60,8 @@ class BatchMsg:
 
     def get(self, key: Any) -> Msg:
         """Message addressed to sub-protocol ``key`` (empty if absent)."""
-        return self.parts.get(key, Msg.empty())
+        return self.parts.get(key, EMPTY_MSG)
+
+
+#: The shared zero-bit message returned by :meth:`Msg.empty`.
+EMPTY_MSG = Msg(0, None)

@@ -12,6 +12,10 @@ Both parties must compose the *same* key set in the same round (the set of
 active vertices is common knowledge in every protocol of the paper), and the
 two sides of each sub-protocol must terminate in the same round — enforced
 downstream by the lockstep runner through the batch structure.
+
+This is the legacy composer for the generator API; channel protocols use
+:meth:`repro.comm.transport.Channel.parallel` (keyed sub-channels), which
+subsumes it on every transport.
 """
 
 from __future__ import annotations

@@ -1,17 +1,21 @@
-"""Lockstep execution of a two-party protocol.
+"""Legacy lockstep entry point: ``run_protocol`` over generator pairs.
 
-A protocol is a pair of Python generators — one for Alice, one for Bob.
-Each generator ``yield``s the :class:`~repro.comm.messages.Msg` it sends in
-the current round and receives the peer's message from the same round as the
-value of the ``yield`` expression.  One simultaneous exchange = one round
-(footnote 1 of the paper: in one round, Alice and Bob each send a message to
-the other simultaneously).
+A protocol in the original (pre-Channel) API is a pair of Python
+generators — one for Alice, one for Bob.  Each generator ``yield``s the
+:class:`~repro.comm.messages.Msg` it sends in the current round and
+receives the peer's message from the same round as the value of the
+``yield`` expression.  One simultaneous exchange = one round (footnote 1
+of the paper: in one round, Alice and Bob each send a message to the
+other simultaneously).
 
-Both sides must terminate after the same number of rounds.  This is a
-structural property of every protocol in the paper (the round schedule is
-common knowledge), and the runner enforces it: asymmetric termination raises
-:class:`ProtocolDesyncError`, which the test suite uses to catch scheduling
-bugs.
+:func:`run_protocol` is kept as a thin compatibility shim over
+:class:`~repro.comm.transport.LockstepTransport`: the transport's round
+loop *is* the old runner's — both sides must terminate after the same
+number of rounds (the round schedule is common knowledge), and asymmetric
+termination raises :class:`~repro.comm.transport.ProtocolDesyncError`.
+New code should write channel protocols and call ``Transport.run``
+directly; see :mod:`repro.comm.transport` and the migration note in
+``ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -20,33 +24,11 @@ from typing import Any, Generator, Tuple
 
 from .ledger import Transcript
 from .messages import Msg
+from .transport import ProtocolDesyncError, TRANSPORTS
 
 __all__ = ["ProtocolDesyncError", "run_protocol"]
 
 PartyGen = Generator[Msg, Msg, Any]
-
-
-class ProtocolDesyncError(RuntimeError):
-    """Raised when Alice's and Bob's round schedules disagree."""
-
-
-_SENTINEL = object()
-
-
-def _start(gen: PartyGen) -> tuple[Msg | None, Any]:
-    """Advance a party to its first yield; return (first message, result)."""
-    try:
-        return next(gen), _SENTINEL
-    except StopIteration as stop:
-        return None, stop.value
-
-
-def _step(gen: PartyGen, incoming: Msg) -> tuple[Msg | None, Any]:
-    """Deliver ``incoming`` and advance one round."""
-    try:
-        return gen.send(incoming), _SENTINEL
-    except StopIteration as stop:
-        return None, stop.value
 
 
 def run_protocol(
@@ -56,30 +38,9 @@ def run_protocol(
 ) -> Tuple[Any, Any, Transcript]:
     """Run an (Alice, Bob) generator pair to completion.
 
-    Returns ``(alice_result, bob_result, transcript)`` where the results are
-    the generators' return values.  Raises :class:`ProtocolDesyncError` if
-    one side stops while the other still wants to exchange messages.
+    Returns ``(alice_result, bob_result, transcript)`` where the results
+    are the generators' return values.  Raises
+    :class:`ProtocolDesyncError` if one side stops while the other still
+    wants to exchange messages.
     """
-    if transcript is None:
-        transcript = Transcript()
-
-    a_msg, a_result = _start(alice)
-    b_msg, b_result = _start(bob)
-
-    while True:
-        a_done = a_msg is None
-        b_done = b_msg is None
-        if a_done and b_done:
-            return a_result, b_result, transcript
-        if a_done != b_done:
-            lagging = "Bob" if a_done else "Alice"
-            raise ProtocolDesyncError(
-                f"{lagging} wants another round after round {transcript.rounds}, "
-                "but the peer already terminated"
-            )
-        assert a_msg is not None and b_msg is not None
-        transcript.record_round(a_msg.nbits, b_msg.nbits)
-        incoming_for_alice = b_msg
-        incoming_for_bob = a_msg
-        a_msg, a_result = _step(alice, incoming_for_alice)
-        b_msg, b_result = _step(bob, incoming_for_bob)
+    return TRANSPORTS["lockstep"].run(alice, bob, transcript)

@@ -1,0 +1,540 @@
+"""The Channel/Transport API: session objects over pluggable lockstep cores.
+
+This module is the redesigned front door of the two-party simulator.  A
+*channel protocol* is a generator function taking a :class:`Channel` as its
+first argument and speaking through it:
+
+* ``reply_payload = yield from ch.send(nbits, payload)`` — one simultaneous
+  exchange; the declared cost comes from :mod:`repro.comm.bits` exactly as
+  before;
+* ``reply = yield from ch.exchange(msg)`` — the :class:`Msg`-level variant
+  for callers that want the peer's declared size too;
+* ``with ch.phase("gather"):`` — phase scoping; the transport attributes
+  every round recorded inside the block to the named phase (both parties
+  must be in identical phase stacks each round — the schedule is common
+  knowledge, so a mismatch is a desync);
+* ``results = yield from ch.parallel({key: factory})`` — keyed sub-channels
+  sharing rounds (the round cost is the max over sub-protocols, the bit
+  cost the sum), subsuming ``compose_parallel``/``BatchMsg``.
+
+Behind the channel sit three transports sharing one
+:class:`~repro.comm.ledger.Transcript` contract:
+
+* :class:`LockstepTransport` — reference semantics: every message is a real
+  :class:`Msg`/:class:`BatchMsg`, the per-round log is kept, and desync
+  detection matches the legacy runner exactly.
+* :class:`CountOnlyTransport` — the fast path for large sweeps: messages
+  travel as plain ``(nbits, payload)`` pairs (no ``Msg`` allocation, no
+  ``BatchMsg``, no per-round log) while producing bit-for-bit identical
+  transcript aggregates.
+* :class:`StrictTransport` — always-on verification: every payload is
+  encoded through :mod:`repro.comm.codecs` and its declared ``nbits`` must
+  equal the encoded length, turning the sampled codec tests into a
+  transport mode.
+
+``run_protocol`` in :mod:`repro.comm.runner` remains a thin compatibility
+shim over :class:`LockstepTransport`, and :func:`as_party` adapts a channel
+protocol back into a legacy ``Msg``-yielding party generator.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Generator, Hashable, Iterator, Mapping, Tuple
+
+from .codecs import Codec, verify_declared_cost
+from .ledger import Transcript
+from .messages import EMPTY_MSG, BatchMsg, Msg
+
+__all__ = [
+    "Channel",
+    "CountOnlyTransport",
+    "LockstepTransport",
+    "ProtocolDesyncError",
+    "StrictTransport",
+    "TRANSPORTS",
+    "Transport",
+    "as_party",
+    "resolve_transport",
+]
+
+
+class ProtocolDesyncError(RuntimeError):
+    """Raised when Alice's and Bob's round (or phase) schedules disagree."""
+
+
+#: A channel protocol: a generator function whose first argument is the
+#: channel (further arguments are protocol inputs).
+ChannelProtocol = Callable[..., Generator[Any, Any, Any]]
+#: What ``Transport.run`` accepts per party: a factory taking the party's
+#: channel, or (for legacy interop) an already-built ``Msg`` generator.
+PartyLike = Any
+
+_SENTINEL = object()
+
+#: The count-only wire representation of a silent message.
+EMPTY_PAIR = (0, None)
+
+
+def _start(gen: Generator) -> tuple[Any, Any]:
+    """Advance a party to its first yield; return (wire item, result)."""
+    try:
+        return next(gen), _SENTINEL
+    except StopIteration as stop:
+        return None, stop.value
+
+
+# ---------------------------------------------------------------------------
+# channels
+# ---------------------------------------------------------------------------
+
+
+class Channel:
+    """One party's session handle onto a transport.
+
+    Concrete subclasses fix the wire representation (``Msg`` objects for
+    the lockstep/strict transports, ``(nbits, payload)`` pairs for the
+    count-only transport); protocols only ever talk to this interface, so
+    one protocol definition runs on every transport.
+    """
+
+    __slots__ = ("_phases",)
+
+    def __init__(self) -> None:
+        self._phases: list[str] = []
+
+    # -- phase scoping ----------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute every round exchanged inside the block to ``name``.
+
+        Phase stacks are part of the common-knowledge schedule: the
+        transport checks both parties agree on them each round.
+        """
+        self._phases.append(name)
+        try:
+            yield
+        finally:
+            self._phases.pop()
+
+    # -- point-to-point exchanges ----------------------------------------
+
+    def send(self, nbits: int, payload: Any = None, codec: Codec | None = None):
+        """Exchange one message; returns the peer's same-round payload.
+
+        ``codec`` is only consulted by the strict transport: it must
+        encode ``payload`` into exactly ``nbits`` bits (simple integer
+        and bitmap payloads are inferred automatically).
+        """
+        raise NotImplementedError
+
+    def exchange(self, msg: Msg, codec: Codec | None = None):
+        """Exchange one :class:`Msg`; returns the peer's :class:`Msg`."""
+        raise NotImplementedError
+
+    def recv(self):
+        """Stay silent this round; returns the peer's payload."""
+        raise NotImplementedError
+
+    # -- keyed sub-channels (parallel composition) -----------------------
+
+    def parallel(self, subprotocols: Mapping[Hashable, Any]):
+        """Run keyed sub-protocols in parallel, sharing rounds.
+
+        Each value is a factory called with a fresh keyed sub-channel
+        (``factory(sub) -> generator``) — or, for legacy interop on
+        ``Msg``-wire transports, an already-built party generator.  The
+        iteration's round cost is the max over live sub-protocols and its
+        bit cost the sum, exactly as in the paper's parallel composition.
+        Returns ``{key: sub-protocol return value}``.
+        """
+        results: dict[Hashable, Any] = {}
+        live: dict[Hashable, Generator] = {}
+        outgoing: dict[Hashable, Any] = {}
+        for key, factory in subprotocols.items():
+            gen = factory(self._sub()) if callable(factory) else factory
+            item, result = _start(gen)
+            if item is None:
+                results[key] = result
+            else:
+                live[key] = gen
+                outgoing[key] = item
+        part = self._part
+        while live:
+            incoming = yield self._batch(outgoing)
+            outgoing = {}
+            for key in list(live):
+                try:
+                    outgoing[key] = live[key].send(part(incoming, key))
+                except StopIteration as stop:
+                    results[key] = stop.value
+                    del live[key]
+        return results
+
+    def _sub(self) -> "Channel":
+        """A keyed sub-channel: same wire flavor, shared phase stack."""
+        sub = type(self)()
+        sub._phases = self._phases
+        return sub
+
+    def _batch(self, parts: dict) -> Any:
+        raise NotImplementedError
+
+    def _part(self, incoming: Any, key: Hashable) -> Any:
+        raise NotImplementedError
+
+
+class LockstepChannel(Channel):
+    """Reference wire flavor: every message is a real :class:`Msg`."""
+
+    __slots__ = ()
+
+    def send(self, nbits: int, payload: Any = None, codec: Codec | None = None):
+        reply = yield (
+            EMPTY_MSG if nbits == 0 and payload is None else Msg(nbits, payload)
+        )
+        return reply.payload
+
+    def exchange(self, msg: Msg, codec: Codec | None = None):
+        reply = yield msg
+        return reply
+
+    def recv(self):
+        reply = yield EMPTY_MSG
+        return reply.payload
+
+    def _batch(self, parts: dict) -> BatchMsg:
+        return BatchMsg(parts)
+
+    def _part(self, incoming: Any, key: Hashable) -> Msg:
+        if not isinstance(incoming, BatchMsg):
+            raise TypeError(
+                "parallel composition expects BatchMsg from peer, "
+                f"got {type(incoming).__name__}"
+            )
+        return incoming.parts.get(key, EMPTY_MSG)
+
+
+class _CountBatch(tuple):
+    """Type tag for a count-wire parallel batch ``(total_nbits, parts)``.
+
+    A bare subclass so ``Channel.parallel`` can tell a real batch from an
+    arbitrary peer payload — the count-wire analogue of the
+    ``isinstance(..., BatchMsg)`` desync guard.
+    """
+
+    __slots__ = ()
+
+
+class CountChannel(Channel):
+    """Count-only wire flavor: plain ``(nbits, payload)`` pairs.
+
+    No :class:`Msg`/:class:`BatchMsg` objects are materialized anywhere
+    on this path — tuples are cheap, and the peer's part tuples are
+    delivered as-is to sub-channels.
+    """
+
+    __slots__ = ()
+
+    def send(self, nbits: int, payload: Any = None, codec: Codec | None = None):
+        reply = yield (nbits, payload)
+        return reply[1]
+
+    def exchange(self, msg: Msg, codec: Codec | None = None):
+        reply = yield (msg.nbits, msg.payload)
+        return Msg(reply[0], reply[1])
+
+    def recv(self):
+        reply = yield EMPTY_PAIR
+        return reply[1]
+
+    def _batch(self, parts: dict) -> tuple[int, dict]:
+        total = 0
+        for item in parts.values():
+            bits = item[0]
+            if bits < 0:
+                raise ValueError("message size must be non-negative")
+            total += bits
+        return _CountBatch((total, parts))
+
+    def _part(self, incoming: Any, key: Hashable) -> tuple:
+        # Mirror LockstepChannel._part's desync guard: a peer outside the
+        # parallel composition must fail loudly, not deliver garbage.
+        if type(incoming) is not _CountBatch:
+            raise TypeError(
+                "parallel composition expects a keyed batch from peer, "
+                f"got {type(incoming).__name__}"
+            )
+        return incoming[1].get(key, EMPTY_PAIR)
+
+
+class StrictChannel(LockstepChannel):
+    """Lockstep wire flavor + codec verification on every outgoing message."""
+
+    __slots__ = ()
+
+    def send(self, nbits: int, payload: Any = None, codec: Codec | None = None):
+        verify_declared_cost(nbits, payload, codec)
+        reply = yield (
+            EMPTY_MSG if nbits == 0 and payload is None else Msg(nbits, payload)
+        )
+        return reply.payload
+
+    def exchange(self, msg: Msg, codec: Codec | None = None):
+        verify_declared_cost(msg.nbits, msg.payload, codec)
+        reply = yield msg
+        return reply
+
+
+# ---------------------------------------------------------------------------
+# transports
+# ---------------------------------------------------------------------------
+
+
+class Transport:
+    """A lockstep execution core behind a pair of :class:`Channel` objects.
+
+    All transports share the round loop (and therefore desync detection);
+    subclasses fix the channel class, how a wire item's declared size is
+    read, and the transcript configuration.
+    """
+
+    name = "abstract"
+    channel_class: type[Channel] = Channel
+
+    def new_transcript(self) -> Transcript:
+        """A transcript configured for this transport's bookkeeping."""
+        return Transcript()
+
+    @staticmethod
+    def _item_nbits(item: Any) -> int:
+        raise NotImplementedError
+
+    def run(
+        self,
+        alice: PartyLike,
+        bob: PartyLike,
+        transcript: Transcript | None = None,
+    ) -> Tuple[Any, Any, Transcript]:
+        """Run a channel-protocol pair (or legacy generators) to completion.
+
+        ``alice``/``bob`` are factories called with each party's channel
+        (``factory(ch) -> generator``); already-built generators are
+        accepted for legacy ``Msg`` protocols on ``Msg``-wire transports.
+        Returns ``(alice_result, bob_result, transcript)``; raises
+        :class:`ProtocolDesyncError` if the parties' round or phase
+        schedules disagree.
+        """
+        if transcript is None:
+            transcript = self.new_transcript()
+        a_ch = self.channel_class()
+        b_ch = self.channel_class()
+        a_gen = alice(a_ch) if callable(alice) else alice
+        b_gen = bob(b_ch) if callable(bob) else bob
+
+        nbits = self._item_nbits
+        record = transcript.record_round
+        a_phases = a_ch._phases
+        b_phases = b_ch._phases
+
+        # The stepping is inlined (rather than routed through _start/_step)
+        # because this loop runs once per round of every protocol in the
+        # repo; the try/except costs nothing on the non-raising path.
+        a_item, a_result = _start(a_gen)
+        b_item, b_result = _start(b_gen)
+        a_done = a_item is None
+        b_done = b_item is None
+        a_send = a_gen.send
+        b_send = b_gen.send
+        while True:
+            if a_done or b_done:
+                if a_done and b_done:
+                    return a_result, b_result, transcript
+                lagging = "Bob" if a_done else "Alice"
+                raise ProtocolDesyncError(
+                    f"{lagging} wants another round after round "
+                    f"{transcript.rounds}, but the peer already terminated"
+                )
+            if a_phases or b_phases:
+                if a_phases != b_phases:
+                    raise ProtocolDesyncError(
+                        f"phase schedules disagree in round "
+                        f"{transcript.rounds}: Alice {a_phases!r} vs "
+                        f"Bob {b_phases!r}"
+                    )
+                record(nbits(a_item), nbits(b_item), tuple(a_phases))
+            else:
+                record(nbits(a_item), nbits(b_item))
+            incoming_for_bob = a_item
+            try:
+                a_item = a_send(b_item)
+            except StopIteration as stop:
+                a_result = stop.value
+                a_done = True
+            try:
+                b_item = b_send(incoming_for_bob)
+            except StopIteration as stop:
+                b_result = stop.value
+                b_done = True
+
+
+class LockstepTransport(Transport):
+    """Current semantics: real ``Msg`` objects, full per-round log."""
+
+    name = "lockstep"
+    channel_class = LockstepChannel
+
+    @staticmethod
+    def _item_nbits(item: Any) -> int:
+        return item.nbits
+
+
+class CountOnlyTransport(Transport):
+    """The count-only fast path for large sweeps.
+
+    Skips ``Msg``/``BatchMsg`` materialization and the per-round log, and
+    batches ledger updates per contiguous phase segment instead of paying
+    a :meth:`~repro.comm.ledger.Transcript.record_round` call every round;
+    transcript aggregates (totals, rounds, messages, per-phase stats) are
+    bit-for-bit identical to the lockstep transport's.
+    """
+
+    name = "count"
+    channel_class = CountChannel
+
+    def new_transcript(self) -> Transcript:
+        return Transcript(record_log=False)
+
+    @staticmethod
+    def _item_nbits(item: Any) -> int:
+        return item[0]
+
+    def run(
+        self,
+        alice: PartyLike,
+        bob: PartyLike,
+        transcript: Transcript | None = None,
+    ) -> Tuple[Any, Any, Transcript]:
+        if transcript is None:
+            transcript = Transcript(record_log=False)
+        a_ch = CountChannel()
+        b_ch = CountChannel()
+        a_gen = alice(a_ch) if callable(alice) else alice
+        b_gen = bob(b_ch) if callable(bob) else bob
+
+        a_phases = a_ch._phases
+        b_phases = b_ch._phases
+
+        a_item, a_result = _start(a_gen)
+        b_item, b_result = _start(b_gen)
+        a_done = a_item is None
+        b_done = b_item is None
+        a_send = a_gen.send
+        b_send = b_gen.send
+
+        # Contiguous rounds sharing one phase stack accumulate in locals
+        # and flush in bulk — the hot loop's only per-round obligations are
+        # the counters and the common-knowledge schedule checks.
+        seg_phases: list[str] = []
+        a2b = b2a = rounds = messages = 0
+        while True:
+            if a_done or b_done:
+                if rounds:
+                    transcript.record_segment(
+                        a2b, b2a, rounds, messages, tuple(seg_phases)
+                    )
+                if a_done and b_done:
+                    return a_result, b_result, transcript
+                lagging = "Bob" if a_done else "Alice"
+                raise ProtocolDesyncError(
+                    f"{lagging} wants another round after round "
+                    f"{transcript.rounds}, but the peer already terminated"
+                )
+            if a_phases != b_phases:
+                raise ProtocolDesyncError(
+                    f"phase schedules disagree in round "
+                    f"{transcript.rounds + rounds}: Alice {a_phases!r} vs "
+                    f"Bob {b_phases!r}"
+                )
+            if a_phases != seg_phases:
+                if rounds:
+                    transcript.record_segment(
+                        a2b, b2a, rounds, messages, tuple(seg_phases)
+                    )
+                    a2b = b2a = rounds = messages = 0
+                seg_phases = list(a_phases)
+            bits = a_item[0]
+            if bits > 0:
+                messages += 1
+                a2b += bits
+            elif bits < 0:
+                raise ValueError("bit counts must be non-negative")
+            bits = b_item[0]
+            if bits > 0:
+                messages += 1
+                b2a += bits
+            elif bits < 0:
+                raise ValueError("bit counts must be non-negative")
+            rounds += 1
+            incoming_for_bob = a_item
+            try:
+                a_item = a_send(b_item)
+            except StopIteration as stop:
+                a_result = stop.value
+                a_done = True
+            try:
+                b_item = b_send(incoming_for_bob)
+            except StopIteration as stop:
+                b_result = stop.value
+                b_done = True
+
+
+class StrictTransport(LockstepTransport):
+    """Lockstep semantics + always-on codec verification.
+
+    Every message's payload is encoded through :mod:`repro.comm.codecs`
+    (via an explicit per-send codec or shape inference) and the declared
+    ``nbits`` must equal the encoded length, else
+    :class:`~repro.comm.codecs.CodecMismatchError` is raised at the
+    offending send.
+    """
+
+    name = "strict"
+    channel_class = StrictChannel
+
+
+#: Transport registry: the CLI/engine ``--transport`` axis.  Transports are
+#: stateless, so the registry holds shared instances.
+TRANSPORTS: dict[str, Transport] = {
+    "lockstep": LockstepTransport(),
+    "count": CountOnlyTransport(),
+    "strict": StrictTransport(),
+}
+
+
+def resolve_transport(transport: str | Transport | None) -> Transport:
+    """Coerce a transport name (or ``None`` → lockstep) to an instance."""
+    if transport is None:
+        return TRANSPORTS["lockstep"]
+    if isinstance(transport, Transport):
+        return transport
+    try:
+        return TRANSPORTS[transport]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of "
+            f"{sorted(TRANSPORTS)}"
+        ) from None
+
+
+def as_party(proto: ChannelProtocol, *args: Any, **kwargs: Any):
+    """Adapt a channel protocol into a legacy ``Msg``-yielding generator.
+
+    The returned generator speaks the lockstep wire format, so it composes
+    with :func:`repro.comm.runner.run_protocol`,
+    :func:`repro.comm.parallel.compose_parallel`, and hand-written ``Msg``
+    generators — the migration story for code still on the generator API.
+    """
+    result = yield from proto(LockstepChannel(), *args, **kwargs)
+    return result

@@ -17,23 +17,21 @@ knowledge (i).  Expected cost is ``O(log²((Δ+1)/k))`` bits over
 from __future__ import annotations
 
 from collections.abc import Set
-from typing import Any, Generator
 
-from ..comm.messages import Msg
 from ..comm.randomness import PublicRandomness
-from .slack import randomized_slack_party
+from ..comm.transport import Channel, as_party
+from .slack import SAMPLING_CONSTANT, randomized_slack_proto
 
-__all__ = ["color_sample_party"]
-
-PartyGen = Generator[Msg, Msg, Any]
+__all__ = ["color_sample_party", "color_sample_proto"]
 
 
-def color_sample_party(
+def color_sample_proto(
+    ch: Channel,
     num_colors: int,
     own_used: Set[int],
     pub: PublicRandomness,
     sampling_constant: int | None = None,
-) -> PartyGen:
+):
     """One party's side of Color-Sample.
 
     ``num_colors`` is the palette size ``m = Δ+1``; ``own_used`` is this
@@ -54,10 +52,18 @@ def color_sample_party(
     color_to_position = {color: pos for pos, color in enumerate(position_to_color)}
     own_positions = {color_to_position[c - 1] for c in own_used}
 
-    if sampling_constant is None:
-        position = yield from randomized_slack_party(num_colors, own_positions, pub)
-    else:
-        position = yield from randomized_slack_party(
-            num_colors, own_positions, pub, constant=sampling_constant
-        )
+    constant = SAMPLING_CONSTANT if sampling_constant is None else sampling_constant
+    position = yield from randomized_slack_proto(
+        ch, num_colors, own_positions, pub, constant=constant
+    )
     return position_to_color[position] + 1
+
+
+def color_sample_party(
+    num_colors: int,
+    own_used: Set[int],
+    pub: PublicRandomness,
+    sampling_constant: int | None = None,
+):
+    """Legacy generator-API adapter for :func:`color_sample_proto`."""
+    return as_party(color_sample_proto, num_colors, own_used, pub, sampling_constant)

@@ -27,20 +27,22 @@ from __future__ import annotations
 import math
 import random
 from collections.abc import Mapping, Sequence
-from typing import Any, Generator
 
 from ..comm.bits import gamma_cost, uint_cost
-from ..comm.messages import Msg
-from ..comm.parallel import compose_parallel
+from ..comm.codecs import (
+    edge_list_codec,
+    encode_color_vector,
+    encode_edge_list,
+    encode_flag_bitmap,
+)
 from ..comm.randomness import PublicRandomness
+from ..comm.transport import Channel, as_party
 from ..coloring.greedy import greedy_d1lc_coloring
 from ..coloring.list_coloring import solve_list_coloring
 from ..graphs.graph import Graph
-from .color_sample import color_sample_party
+from .color_sample import color_sample_proto
 
-__all__ = ["d1lc_party", "sample_list_size", "sparsity_threshold"]
-
-PartyGen = Generator[Msg, Msg, Any]
+__all__ = ["d1lc_party", "d1lc_proto", "sample_list_size", "sparsity_threshold"]
 
 #: Multiplier on ``log² n`` for the per-vertex sample-list size (Prop. 3.2).
 SAMPLE_FACTOR = 2.0
@@ -60,7 +62,34 @@ def sparsity_threshold(num_vertices: int) -> int:
     return max(8, math.ceil(SPARSITY_FACTOR * max(num_vertices, 1) * base * base))
 
 
-def d1lc_party(
+def _verdict_codec(m: int):
+    """Strict codec for Alice's ("ok", colors) / ("fallback", None) verdict."""
+
+    def encode(payload):
+        tag, packed = payload
+        if tag == "ok":
+            return encode_flag_bitmap([True]) + encode_color_vector(packed, m)
+        return encode_flag_bitmap([False])
+
+    return encode
+
+
+def _instance_codec(n: int, m: int):
+    """Strict codec for Bob's fallback instance: edges + palette bitmaps."""
+
+    def encode(payload):
+        edges, lists = payload
+        bits = encode_edge_list(edges, n)
+        for _v, colors in lists:
+            members = set(colors)
+            bits += encode_flag_bitmap([c in members for c in range(1, m + 1)])
+        return bits
+
+    return encode
+
+
+def d1lc_proto(
+    ch: Channel,
     role: str,
     own_graph: Graph,
     own_lists: Mapping[int, set[int]],
@@ -68,7 +97,7 @@ def d1lc_party(
     num_colors: int,
     pub: PublicRandomness,
     rng: random.Random,
-) -> Generator[Msg, Msg, dict[int, int]]:
+):
     """One party's side of the D1LC protocol (Lemma 3.3).
 
     ``own_graph`` holds this party's edges among ``active`` vertices (on the
@@ -93,10 +122,11 @@ def d1lc_party(
     for v in active:
         own_complement = palette - set(own_lists[v])
         for j in range(ell):
-            samplers[(v, j)] = color_sample_party(
-                m, own_complement, pub.spawn(f"d1lc-{v}-{j}")
+            samplers[(v, j)] = (
+                lambda sub, used=own_complement, tape=pub.spawn(f"d1lc-{v}-{j}"):
+                color_sample_proto(sub, m, used, tape)
             )
-    draws = yield from compose_parallel(samplers)
+    draws = yield from ch.parallel(samplers)
     sampled: dict[int, set[int]] = {v: set() for v in active}
     for (v, _j), color in draws.items():
         sampled[v].add(color)
@@ -114,9 +144,8 @@ def d1lc_party(
 
     if role == "bob":
         cost = gamma_cost(len(surviving) + 1) + len(surviving) * edge_width
-        yield Msg(cost, tuple(surviving))
-        reply = yield Msg.empty()
-        tag, packed = reply.payload
+        yield from ch.send(cost, tuple(surviving), codec=edge_list_codec(n))
+        tag, packed = yield from ch.recv()
         if tag == "ok":
             return _unpack_colors(packed, active)
         # Step 4 (fallback): ship the whole local instance, receive colors.
@@ -127,12 +156,11 @@ def d1lc_party(
             + len(edges) * edge_width
             + n_active * m  # palette bitmaps
         )
-        yield Msg(cost, (edges, lists))
-        final = yield Msg.empty()
-        return _unpack_colors(final.payload, active)
+        yield from ch.send(cost, (edges, lists), codec=_instance_codec(n, m))
+        final = yield from ch.recv()
+        return _unpack_colors(final, active)
 
-    reply = yield Msg.empty()
-    peer_edges = reply.payload
+    peer_edges = yield from ch.recv()
     sparse = type(own_graph)(n, list(surviving) + list(peer_edges))
     colors: dict[int, int] | None = None
     if sparse.m <= sparsity_threshold(n_active):
@@ -142,21 +170,41 @@ def d1lc_party(
         if local is not None:
             colors = {active[idx]: c for idx, c in local.items()}
     if colors is not None:
-        yield Msg(1 + n_active * uint_cost(m), ("ok", _pack_colors(colors, active)))
+        yield from ch.send(
+            1 + n_active * uint_cost(m),
+            ("ok", _pack_colors(colors, active)),
+            codec=_verdict_codec(m),
+        )
         return colors
 
     # Step 4 (fallback): gather Bob's instance and solve sequentially.
-    yield Msg(1, ("fallback", None))
-    instance = yield Msg.empty()
-    bob_edges, bob_lists_packed = instance.payload
+    yield from ch.send(1, ("fallback", None), codec=_verdict_codec(m))
+    bob_edges, bob_lists_packed = yield from ch.recv()
     full = type(own_graph)(n, list(own_graph.edges()) + list(bob_edges))
     merged_lists = {v: set(own_lists[v]) & set(blist) for v, blist in bob_lists_packed}
     induced = _induced_on(full, active)
     local_lists = {idx: merged_lists[v] for idx, v in enumerate(active)}
     local_colors = greedy_d1lc_coloring(induced, local_lists)
     colors = {active[idx]: c for idx, c in local_colors.items()}
-    yield Msg(n_active * uint_cost(m), _pack_colors(colors, active))
+    yield from ch.send(
+        n_active * uint_cost(m),
+        _pack_colors(colors, active),
+        codec=lambda p: encode_color_vector(p, m),
+    )
     return colors
+
+
+def d1lc_party(
+    role: str,
+    own_graph: Graph,
+    own_lists: Mapping[int, set[int]],
+    active: Sequence[int],
+    num_colors: int,
+    pub: PublicRandomness,
+    rng: random.Random,
+):
+    """Legacy generator-API adapter for :func:`d1lc_proto`."""
+    return as_party(d1lc_proto, role, own_graph, own_lists, active, num_colors, pub, rng)
 
 
 def _pack_colors(colors: dict[int, int] | None, active: Sequence[int]) -> tuple | None:

@@ -32,12 +32,11 @@ Fournier-colors the rest with its own ``Δ``-color palette.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
 
 from ..comm.bits import bitmap_cost
+from ..comm.codecs import encode_cover_payload, encode_flag_bitmap
 from ..comm.ledger import Transcript
-from ..comm.messages import Msg
-from ..comm.runner import run_protocol
+from ..comm.transport import Channel, Transport, as_party, resolve_transport
 from ..coloring.fournier import fournier_edge_coloring
 from ..coloring.greedy import greedy_edge_coloring
 from ..graphs.graph import Edge, Graph, canonical_edge
@@ -49,12 +48,11 @@ __all__ = [
     "EdgeColoringResult",
     "SMALL_DELTA_THRESHOLD",
     "edge_coloring_party",
+    "edge_coloring_proto",
     "run_edge_coloring",
     "run_zero_comm_edge_coloring",
     "zero_comm_edge_coloring_party",
 ]
-
-PartyGen = Generator[Msg, Msg, dict[Edge, int]]
 
 #: Algorithm 2 requires ``Δ ≥ 8`` (its Lemma 5.5 step needs seven peer
 #: colors); below that the Lemma 5.1 bounded-degree protocol runs instead.
@@ -201,12 +199,21 @@ def zero_comm_edge_coloring_party(
     return colors
 
 
-def run_zero_comm_edge_coloring(partition: EdgePartition) -> EdgeColoringResult:
-    """Theorem 3 on an edge-partitioned graph: zero bits, zero rounds."""
+def run_zero_comm_edge_coloring(
+    partition: EdgePartition,
+    transport: str | Transport | None = None,
+) -> EdgeColoringResult:
+    """Theorem 3 on an edge-partitioned graph: zero bits, zero rounds.
+
+    ``transport`` only picks the (empty) transcript's flavor — the
+    protocol never communicates, so every transport is trivially
+    identical here.
+    """
+    transcript = resolve_transport(transport).new_transcript()
     delta = partition.max_degree
     alice = zero_comm_edge_coloring_party("alice", partition.alice_graph, delta)
     bob = zero_comm_edge_coloring_party("bob", partition.bob_graph, delta)
-    return EdgeColoringResult(alice, bob, Transcript(), max(2 * delta, 1))
+    return EdgeColoringResult(alice, bob, transcript, max(2 * delta, 1))
 
 
 # ---------------------------------------------------------------------------
@@ -214,7 +221,12 @@ def run_zero_comm_edge_coloring(partition: EdgePartition) -> EdgeColoringResult:
 # ---------------------------------------------------------------------------
 
 
-def bounded_degree_party(role: str, own_graph: Graph, delta: int) -> PartyGen:
+def _nested_bitmap_codec(payload) -> list[int]:
+    """Strict codec for a tuple of per-vertex boolean masks."""
+    return encode_flag_bitmap([flag for row in payload for flag in row])
+
+
+def bounded_degree_proto(ch: Channel, role: str, own_graph: Graph, delta: int):
     """Lemma 5.1: greedy + free-color bitmaps for constant ``Δ``."""
     num_colors = max(2 * delta - 1, 1)
     if delta <= 1:
@@ -231,11 +243,12 @@ def bounded_degree_party(role: str, own_graph: Graph, delta: int) -> PartyGen:
             tuple(c in used[v] for c in range(1, num_colors + 1))
             for v in own_graph.vertices()
         )
-        yield Msg(bitmap_cost(own_graph.n * num_colors), masks)
+        yield from ch.send(
+            bitmap_cost(own_graph.n * num_colors), masks, codec=_nested_bitmap_codec
+        )
         return colors
 
-    reply = yield Msg.empty()
-    masks = reply.payload
+    masks = yield from ch.recv()
     forbidden = {
         v: {c for c in range(1, num_colors + 1) if masks[v][c - 1]}
         for v in own_graph.vertices()
@@ -248,10 +261,10 @@ def bounded_degree_party(role: str, own_graph: Graph, delta: int) -> PartyGen:
 # ---------------------------------------------------------------------------
 
 
-def edge_coloring_party(role: str, own_graph: Graph, delta: int) -> PartyGen:
+def edge_coloring_proto(ch: Channel, role: str, own_graph: Graph, delta: int):
     """One party's side of the ``(2Δ−1)``-edge coloring protocol."""
     if delta < SMALL_DELTA_THRESHOLD:
-        result = yield from bounded_degree_party(role, own_graph, delta)
+        result = yield from bounded_degree_proto(ch, role, own_graph, delta)
         return result
 
     n = own_graph.n
@@ -279,11 +292,21 @@ def edge_coloring_party(role: str, own_graph: Graph, delta: int) -> PartyGen:
     cover_msg = build_cover_message(low_vertices, available, own)
 
     # --- round 1: bitmaps + cover message --------------------------------
-    round1 = yield Msg(
+    max_own_color = max(own)
+
+    def round1_codec(payload):
+        covered_flags, over_half_flags, cover = payload
+        return (
+            encode_flag_bitmap(covered_flags)
+            + encode_flag_bitmap(over_half_flags)
+            + encode_cover_payload(cover.colors, cover.bitmaps, max_own_color)
+        )
+
+    peer_covered, peer_over_half, peer_cover = yield from ch.send(
         bitmap_cost(2 * n) + cover_msg.nbits,
         (tuple(covered), tuple(over_half), cover_msg),
+        codec=round1_codec,
     )
-    peer_covered, peer_over_half, peer_cover = round1.payload
     peer_low = [v for v in range(n) if not peer_over_half[v]]
     peer_color_for = decode_cover_message(peer_low, peer_cover)
 
@@ -300,8 +323,9 @@ def edge_coloring_party(role: str, own_graph: Graph, delta: int) -> PartyGen:
     own_masks = tuple(
         tuple(c not in used_at[v] for c in first_seven) for v in range(n)
     )
-    round2 = yield Msg(bitmap_cost(7 * n), own_masks)
-    peer_masks = round2.payload
+    peer_masks = yield from ch.send(
+        bitmap_cost(7 * n), own_masks, codec=_nested_bitmap_codec
+    )
     peer_first_seven = peer[:7]
 
     # --- Lemma 5.5: greedy-color the deferred subgraph -------------------
@@ -345,16 +369,25 @@ def _used_colors_at(colors: dict[Edge, int], graph: Graph, v: int) -> set[int]:
     return used
 
 
-def run_edge_coloring(partition: EdgePartition) -> EdgeColoringResult:
+def edge_coloring_party(role: str, own_graph: Graph, delta: int):
+    """Legacy generator-API adapter for :func:`edge_coloring_proto`."""
+    return as_party(edge_coloring_proto, role, own_graph, delta)
+
+
+def run_edge_coloring(
+    partition: EdgePartition,
+    transport: str | Transport | None = None,
+) -> EdgeColoringResult:
     """Theorem 2 on an edge-partitioned graph: ``O(n)`` bits, ``O(1)`` rounds."""
     delta = partition.max_degree
     num_colors = max(2 * delta - 1, 1)
-    transcript = Transcript()
+    core = resolve_transport(transport)
+    transcript = core.new_transcript()
     if delta == 0:
         return EdgeColoringResult({}, {}, transcript, num_colors)
-    alice, bob, _ = run_protocol(
-        edge_coloring_party("alice", partition.alice_graph, delta),
-        edge_coloring_party("bob", partition.bob_graph, delta),
+    alice, bob, _ = core.run(
+        lambda ch: edge_coloring_proto(ch, "alice", partition.alice_graph, delta),
+        lambda ch: edge_coloring_proto(ch, "bob", partition.bob_graph, delta),
         transcript,
     )
     return EdgeColoringResult(alice, bob, transcript, num_colors)

@@ -19,18 +19,18 @@ is empty (a free optimization the paper's fixed iteration count dominates).
 from __future__ import annotations
 
 import math
-from typing import Any, Generator
 
 from ..comm.bits import bitmap_cost
-from ..comm.messages import Msg
-from ..comm.parallel import compose_parallel
 from ..comm.randomness import PublicRandomness
+from ..comm.transport import Channel, as_party
 from ..graphs.graph import Graph
-from .color_sample import color_sample_party
+from .color_sample import color_sample_proto
 
-__all__ = ["paper_iteration_count", "random_color_trial_party"]
-
-PartyGen = Generator[Msg, Msg, Any]
+__all__ = [
+    "paper_iteration_count",
+    "random_color_trial_party",
+    "random_color_trial_proto",
+]
 
 #: Per-iteration success-probability bound of Lemma 4.2 is 1/24, giving the
 #: decay base 24/23 used in the paper's iteration count.
@@ -47,13 +47,14 @@ def paper_iteration_count(n: int) -> int:
     return math.ceil(1 + 4 * math.log(loglog, DECAY_BASE))
 
 
-def random_color_trial_party(
+def random_color_trial_proto(
+    ch: Channel,
     own_graph: Graph,
     num_colors: int,
     pub: PublicRandomness,
     max_iterations: int | None = None,
     active_history: list[int] | None = None,
-) -> Generator[Msg, Msg, tuple[dict[int, int], list[int]]]:
+):
     """One party's side of Random-Color-Trial.
 
     ``own_graph`` is this party's local graph (all ``n`` vertices, its own
@@ -81,10 +82,11 @@ def random_color_trial_party(
         samplers = {}
         for v in awake:
             own_used = own_graph.neighbor_colors(v, colors)
-            samplers[v] = color_sample_party(
-                num_colors, own_used, pub.spawn(f"rct-{iteration}-{v}")
+            samplers[v] = (
+                lambda sub, used=own_used, tape=pub.spawn(f"rct-{iteration}-{v}"):
+                color_sample_proto(sub, num_colors, used, tape)
             )
-        chosen: dict[int, int] = yield from compose_parallel(samplers)
+        chosen: dict[int, int] = yield from ch.parallel(samplers)
 
         # One confirmation bit per awake vertex: "no conflict on my side".
         awake_set = set(awake)
@@ -96,8 +98,7 @@ def random_color_trial_party(
             )
             for v in awake
         )
-        reply = yield Msg(bitmap_cost(len(awake)), own_ok)
-        peer_ok = reply.payload
+        peer_ok = yield from ch.send(bitmap_cost(len(awake)), own_ok)
 
         still_active = []
         for idx, v in enumerate(awake):
@@ -109,3 +110,21 @@ def random_color_trial_party(
         active = [v for v in active if v not in awake_set or v in awake_survivors]
 
     return colors, active
+
+
+def random_color_trial_party(
+    own_graph: Graph,
+    num_colors: int,
+    pub: PublicRandomness,
+    max_iterations: int | None = None,
+    active_history: list[int] | None = None,
+):
+    """Legacy generator-API adapter for :func:`random_color_trial_proto`."""
+    return as_party(
+        random_color_trial_proto,
+        own_graph,
+        num_colors,
+        pub,
+        max_iterations,
+        active_history,
+    )

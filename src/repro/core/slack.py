@@ -4,41 +4,45 @@ Given sets ``X`` (Alice) and ``Y`` (Bob) over a common ground list with
 ``|X| + |Y| ≤ m − k`` for some ``k ≥ 1``, find an element of the ground set
 outside ``X ∪ Y``:
 
-* :func:`slack_find_party` — the deterministic binary-search protocol of
+* :func:`slack_find_proto` — the deterministic binary-search protocol of
   Lemma A.1: ``O(log² m)`` bits, ``O(log m)`` rounds.
-* :func:`randomized_slack_party` — Algorithm 3 (Lemma A.2): exponentially
+* :func:`randomized_slack_proto` — Algorithm 3 (Lemma A.2): exponentially
   decreasing guesses ``k̃`` with public sub-sampling; expected
   ``O(log²((m+1)/k))`` bits and ``O(log((m+1)/k))`` rounds.
 
-Both are written as *single* generator functions usable by either party:
+Both are written as *single* channel protocols usable by either party:
 each round both parties send the count of their own set inside the probed
 interval, so Alice's and Bob's programs are literally identical.  The
-element found is common knowledge by construction.
+element found is common knowledge by construction.  ``slack_find_party``
+and ``randomized_slack_party`` are the legacy generator-API adapters.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence, Set
-from typing import Any, Generator
 
 from ..comm.bits import uint_cost
-from ..comm.messages import Msg
 from ..comm.randomness import PublicRandomness
+from ..comm.transport import Channel, as_party
 
-__all__ = ["randomized_slack_party", "slack_find_party"]
-
-PartyGen = Generator[Msg, Msg, Any]
+__all__ = [
+    "randomized_slack_party",
+    "randomized_slack_proto",
+    "slack_find_party",
+    "slack_find_proto",
+]
 
 #: Constant from Algorithm 3's sampling probability ``p = min(1, C·m/k̃²)``.
 SAMPLING_CONSTANT = 150
 
 
-def slack_find_party(
+def slack_find_proto(
+    ch: Channel,
     ground: Sequence[int],
     own: Set[int],
     own_count: int | None = None,
     peer_count: int | None = None,
-) -> PartyGen:
+):
     """Deterministic binary search for an element outside both sets (Lemma A.1).
 
     ``ground`` is the publicly known candidate list (identical on both
@@ -51,8 +55,7 @@ def slack_find_party(
     lo, hi = 0, len(ground)
     if own_count is None or peer_count is None:
         own_count = sum(1 for e in ground if e in own)
-        reply = yield Msg(uint_cost(len(ground)), own_count)
-        peer_count = reply.payload
+        peer_count = yield from ch.send(uint_cost(len(ground)), own_count)
     slack = (hi - lo) - own_count - peer_count
     if slack < 1:
         raise ValueError("no guaranteed free element: |I| - a - b < 1")
@@ -60,8 +63,9 @@ def slack_find_party(
     while hi - lo > 1:
         mid = (lo + hi) // 2
         own_left = sum(1 for i in range(lo, mid) if ground[i] in own)
-        reply = yield Msg(uint_cost(mid - lo), own_left)
-        peer_left = reply.payload
+        # (mid - lo).bit_length() == uint_cost(mid - lo) for positive widths;
+        # inlined because this is the hottest declared-cost site in the repo.
+        peer_left = yield from ch.send((mid - lo).bit_length(), own_left)
         left_slack = (mid - lo) - own_left - peer_left
         if left_slack >= 1:
             hi = mid
@@ -70,6 +74,16 @@ def slack_find_party(
             lo = mid
             slack = slack - left_slack
     return ground[lo]
+
+
+def slack_find_party(
+    ground: Sequence[int],
+    own: Set[int],
+    own_count: int | None = None,
+    peer_count: int | None = None,
+):
+    """Legacy generator-API adapter for :func:`slack_find_proto`."""
+    return as_party(slack_find_proto, ground, own, own_count, peer_count)
 
 
 def guess_schedule(m: int) -> list[int]:
@@ -89,12 +103,13 @@ def sampling_probability(m: int, k_tilde: int, constant: int = SAMPLING_CONSTANT
     return min(1.0, constant * m / (k_tilde * k_tilde))
 
 
-def randomized_slack_party(
+def randomized_slack_proto(
+    ch: Channel,
     m: int,
     own: Set[int],
     pub: PublicRandomness,
     constant: int = SAMPLING_CONSTANT,
-) -> PartyGen:
+):
     """Algorithm 3: randomized ``k``-Slack-Int over the ground set ``range(m)``.
 
     Requires the problem precondition ``|X| + |Y| ≤ m − 1`` (there is a free
@@ -114,14 +129,23 @@ def randomized_slack_party(
         mask = pub.sample_mask(m, sampling_probability(m, k_tilde, constant))
         sample = [i for i in range(m) if mask[i]]
         own_count = sum(1 for i in sample if i in own)
-        reply = yield Msg(uint_cost(len(sample)), own_count)
-        peer_count = reply.payload
+        peer_count = yield from ch.send(uint_cost(len(sample)), own_count)
         if own_count + peer_count < len(sample):
-            result = yield from slack_find_party(
-                sample, own, own_count=own_count, peer_count=peer_count
+            result = yield from slack_find_proto(
+                ch, sample, own, own_count=own_count, peer_count=peer_count
             )
             return result
     raise RuntimeError(
         "Algorithm 3 exhausted its guesses; the k-Slack-Int precondition "
         "|X|+|Y| <= m-1 must have been violated"
     )
+
+
+def randomized_slack_party(
+    m: int,
+    own: Set[int],
+    pub: PublicRandomness,
+    constant: int = SAMPLING_CONSTANT,
+):
+    """Legacy generator-API adapter for :func:`randomized_slack_proto`."""
+    return as_party(randomized_slack_proto, m, own, pub, constant)

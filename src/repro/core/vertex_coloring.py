@@ -22,13 +22,13 @@ from dataclasses import dataclass
 
 from ..comm.ledger import Transcript
 from ..comm.randomness import PublicRandomness, split_rng
-from ..comm.runner import run_protocol
+from ..comm.transport import Channel, Transport, resolve_transport
 from ..graphs.graph import Graph
 from ..graphs.partition import EdgePartition
-from .d1lc import d1lc_party
-from .random_color_trial import paper_iteration_count, random_color_trial_party
+from .d1lc import d1lc_proto
+from .random_color_trial import paper_iteration_count, random_color_trial_proto
 
-__all__ = ["VertexColoringResult", "run_vertex_coloring"]
+__all__ = ["VertexColoringResult", "run_vertex_coloring", "vertex_coloring_proto"]
 
 PHASE_TRIAL = "random_color_trial"
 PHASE_LEFTOVER = "d1lc_leftover"
@@ -75,21 +75,63 @@ def leftover_graph(own_graph: Graph, active: list[int]) -> Graph:
     return own_graph.induced_subgraph(active)
 
 
+def vertex_coloring_proto(
+    ch: Channel,
+    role: str,
+    own_graph: Graph,
+    num_colors: int,
+    pub: PublicRandomness,
+    rng: random.Random,
+    trial_cap: int,
+):
+    """One party's side of the full Theorem 1 pipeline.
+
+    Phase ``random_color_trial`` runs Algorithm 1; if any vertices stay
+    uncolored, phase ``d1lc_leftover`` colors the induced D1LC instance
+    (Section 4.4).  Returns ``(colors, leftover_size)``, both common
+    knowledge.
+    """
+    with ch.phase(PHASE_TRIAL):
+        colors, active = yield from random_color_trial_proto(
+            ch, own_graph, num_colors, pub, trial_cap
+        )
+    leftover_size = len(active)
+    if active:
+        pub_leftover = pub.spawn("d1lc-phase")
+        with ch.phase(PHASE_LEFTOVER):
+            final = yield from d1lc_proto(
+                ch,
+                role,
+                leftover_graph(own_graph, active),
+                leftover_lists(own_graph, colors, active, num_colors),
+                active,
+                num_colors,
+                pub_leftover,
+                rng,
+            )
+        colors.update(final)
+    return colors, leftover_size
+
+
 def run_vertex_coloring(
     partition: EdgePartition,
     seed: int = 0,
     max_trial_iterations: int | None = None,
+    transport: str | Transport | None = None,
 ) -> VertexColoringResult:
     """Execute the Theorem 1 protocol on an edge-partitioned graph.
 
     The two parties read identical public tapes (same ``seed``) and disjoint
     private tapes.  Returns the common-knowledge coloring with the measured
     transcript (phases ``random_color_trial`` and ``d1lc_leftover``).
+    ``transport`` picks the comm simulation backend (name or instance;
+    default lockstep).
     """
     n = partition.n
     delta = partition.max_degree
     num_colors = delta + 1
-    transcript = Transcript()
+    core = resolve_transport(transport)
+    transcript = core.new_transcript()
 
     if delta == 0:
         # Edgeless graph: both parties color everything 1, zero communication.
@@ -104,49 +146,19 @@ def run_vertex_coloring(
 
     pub_alice = PublicRandomness(seed)
     pub_bob = PublicRandomness(seed)
+    rng_alice = split_rng(random.Random(seed), "alice-private")
+    rng_bob = split_rng(random.Random(seed), "bob-private")
 
-    with transcript.phase(PHASE_TRIAL):
-        (a_colors, a_active), (b_colors, b_active), _ = run_protocol(
-            random_color_trial_party(
-                partition.alice_graph, num_colors, pub_alice, cap
-            ),
-            random_color_trial_party(partition.bob_graph, num_colors, pub_bob, cap),
-            transcript,
-        )
-    if a_colors != b_colors or a_active != b_active:
-        raise AssertionError("parties disagree on the partial coloring")
-    colors, active = a_colors, a_active
-    leftover_size = len(active)
+    (a_colors, a_leftover), (b_colors, b_leftover), _ = core.run(
+        lambda ch: vertex_coloring_proto(
+            ch, "alice", partition.alice_graph, num_colors, pub_alice, rng_alice, cap
+        ),
+        lambda ch: vertex_coloring_proto(
+            ch, "bob", partition.bob_graph, num_colors, pub_bob, rng_bob, cap
+        ),
+        transcript,
+    )
+    if a_colors != b_colors or a_leftover != b_leftover:
+        raise AssertionError("parties disagree on the coloring")
 
-    if active:
-        rng_alice = split_rng(random.Random(seed), "alice-private")
-        rng_bob = split_rng(random.Random(seed), "bob-private")
-        pub_a2 = pub_alice.spawn("d1lc-phase")
-        pub_b2 = pub_bob.spawn("d1lc-phase")
-        with transcript.phase(PHASE_LEFTOVER):
-            a_final, b_final, _ = run_protocol(
-                d1lc_party(
-                    "alice",
-                    leftover_graph(partition.alice_graph, active),
-                    leftover_lists(partition.alice_graph, colors, active, num_colors),
-                    active,
-                    num_colors,
-                    pub_a2,
-                    rng_alice,
-                ),
-                d1lc_party(
-                    "bob",
-                    leftover_graph(partition.bob_graph, active),
-                    leftover_lists(partition.bob_graph, colors, active, num_colors),
-                    active,
-                    num_colors,
-                    pub_b2,
-                    rng_bob,
-                ),
-                transcript,
-            )
-        if a_final != b_final:
-            raise AssertionError("parties disagree on the leftover coloring")
-        colors.update(a_final)
-
-    return VertexColoringResult(colors, transcript, num_colors, leftover_size, cap)
+    return VertexColoringResult(a_colors, transcript, num_colors, a_leftover, cap)

@@ -126,16 +126,18 @@ def weaker_from_strict(result: EdgeColoringResult) -> WeakerEdgeColoringResult:
 def weaker_from_streaming(
     partition: EdgePartition,
     algorithm_factory,
+    transport=None,
 ) -> WeakerEdgeColoringResult:
     """Run the streaming reduction and package its (weaker) outputs.
 
     The reduction's communication equals the streaming state size; by
     Theorem 5 it is therefore ``Ω(n)`` — the bridge to Corollary 1.2.
+    ``transport`` is forwarded to the reduction's comm simulation.
     """
     from ..lowerbound.wstreaming import reduce_streaming_to_two_party
 
     alice_out, bob_out, transcript = reduce_streaming_to_two_party(
-        partition, algorithm_factory
+        partition, algorithm_factory, transport=transport
     )
     delta = partition.max_degree
     return WeakerEdgeColoringResult(

@@ -11,7 +11,7 @@ clients of this module; future scaling work (sharding, async runners, new
 workload families) plugs in here.
 """
 
-from .bench import backend_comparison, medium_workload
+from .bench import backend_comparison, medium_workload, transport_comparison
 from .results import results_table, write_results
 from .runner import build_partition, build_workload, run_scenario, sweep
 from .scenarios import (
@@ -37,5 +37,6 @@ __all__ = [
     "run_scenario",
     "smoke_scenarios",
     "sweep",
+    "transport_comparison",
     "write_results",
 ]

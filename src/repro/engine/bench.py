@@ -1,13 +1,19 @@
-"""Backend benchmark: set-based vs bitset graphs on one shared workload.
+"""Backend and transport benchmarks on one shared workload.
 
-Times the graph kernels the protocol hot paths lean on (copy for the
-Algorithm 2 surgery, induced subgraphs for the D1LC leftover instance,
-neighborhood scans for Random-Color-Trial confirmations) and the three
-end-to-end protocol drivers, on the standard ``medium_partition`` workload
-of the benchmark suite (random d-regular, n=512, d=8, seed=42) unless
-told otherwise.  Both backends run the *identical* instance — the bitset
-partition is a converted copy — so the comparison is purely about the
-adjacency representation.
+``backend_comparison`` times the graph kernels the protocol hot paths
+lean on (copy for the Algorithm 2 surgery, induced subgraphs for the D1LC
+leftover instance, neighborhood scans for Random-Color-Trial
+confirmations) and the three end-to-end protocol drivers, on the standard
+``medium_partition`` workload of the benchmark suite (random d-regular,
+n=512, d=8, seed=42) unless told otherwise.  Both backends run the
+*identical* instance — the bitset partition is a converted copy — so the
+comparison is purely about the adjacency representation.
+
+``transport_comparison`` times the end-to-end protocols across the three
+comm transports (lockstep / count / strict) on the E4 edge-scaling
+workload (random d-regular, n=512, d=10) and checks that every transport
+produced identical transcript totals — the count-only transport's speedup
+is pure comm-simulation overhead removed, not changed behavior.
 """
 
 from __future__ import annotations
@@ -15,13 +21,14 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
+from ..comm.transport import TRANSPORTS
 from ..core.edge_coloring import run_edge_coloring, run_zero_comm_edge_coloring
 from ..core.vertex_coloring import run_vertex_coloring
 from ..graphs import EdgePartition
 from .runner import build_partition
 from .scenarios import Scenario
 
-__all__ = ["backend_comparison", "medium_workload"]
+__all__ = ["backend_comparison", "medium_workload", "transport_comparison"]
 
 
 def medium_workload(n: int = 512, d: int = 8, seed: int = 42) -> EdgePartition:
@@ -51,9 +58,17 @@ def _time(fn: Callable[[], Any], repeat: int) -> float:
 
 
 def backend_comparison(
-    n: int = 512, d: int = 8, seed: int = 42, repeat: int = 5
+    n: int = 512,
+    d: int = 8,
+    seed: int = 42,
+    repeat: int = 5,
+    transport: str = "lockstep",
 ) -> list[dict[str, Any]]:
-    """Rows of ``{kernel, set_s, bitset_s, speedup}`` for the table renderers."""
+    """Rows of ``{kernel, set_s, bitset_s, speedup}`` for the table renderers.
+
+    ``transport`` picks the comm simulation used by the end-to-end
+    protocol rows (the kernel rows never communicate).
+    """
     part = medium_workload(n, d, seed)
     bpart = part.astype("bitset")
     g, b = part.graph, bpart.graph
@@ -84,20 +99,20 @@ def backend_comparison(
         ),
         (
             "protocol: vertex (thm 1)",
-            lambda: run_vertex_coloring(part, seed=seed),
-            lambda: run_vertex_coloring(bpart, seed=seed),
+            lambda: run_vertex_coloring(part, seed=seed, transport=transport),
+            lambda: run_vertex_coloring(bpart, seed=seed, transport=transport),
             repeat,
         ),
         (
             "protocol: edge (thm 2)",
-            lambda: run_edge_coloring(part),
-            lambda: run_edge_coloring(bpart),
+            lambda: run_edge_coloring(part, transport=transport),
+            lambda: run_edge_coloring(bpart, transport=transport),
             repeat,
         ),
         (
             "protocol: zero-comm (thm 3)",
-            lambda: run_zero_comm_edge_coloring(part),
-            lambda: run_zero_comm_edge_coloring(bpart),
+            lambda: run_zero_comm_edge_coloring(part, transport=transport),
+            lambda: run_zero_comm_edge_coloring(bpart, transport=transport),
             repeat,
         ),
     ]
@@ -112,6 +127,77 @@ def backend_comparison(
                 "set_s": set_s,
                 "bitset_s": bitset_s,
                 "speedup": set_s / bitset_s if bitset_s > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+def transport_comparison(
+    n: int = 512, d: int = 10, seed: int = 42, repeat: int = 3
+) -> list[dict[str, Any]]:
+    """Time the end-to-end protocols across all registered transports.
+
+    Defaults to the E4 edge-scaling workload (random d-regular, n=512,
+    d=10).  Each row carries per-transport best-of wall times, the
+    count-vs-lockstep speedup, and a ``transcripts_equal`` flag pinning
+    that every transport produced identical bit/round totals on the run.
+
+    The round-dominated rows (greedy binary search at ``Θ(n log Δ)``
+    rounds, FM25 at ``Θ(n)`` rounds) are the comm-dominated paths where
+    the count transport's skipped ``Msg``/round-log work is most of the
+    wall time; the Theorem 1/2 rows spend most of their time in protocol
+    computation shared by every transport, so their speedups are smaller.
+    """
+    from ..baselines import run_flin_mittal, run_greedy_binary_search
+
+    part = medium_workload(n, d, seed)
+
+    protocols: list[tuple[str, Callable[[str], Any]]] = [
+        (
+            "vertex (thm 1)",
+            lambda t: run_vertex_coloring(part, seed=seed, transport=t),
+        ),
+        ("edge (thm 2)", lambda t: run_edge_coloring(part, transport=t)),
+        (
+            "greedy binary search (comm-dominated)",
+            lambda t: run_greedy_binary_search(part, transport=t),
+        ),
+        (
+            "flin-mittal (comm-dominated)",
+            lambda t: run_flin_mittal(part, seed, transport=t),
+        ),
+    ]
+
+    rows = []
+    for name, runner in protocols:
+        times: dict[str, float] = {}
+        summaries: dict[str, dict[str, int]] = {}
+        for transport in TRANSPORTS:
+            last: list[Any] = []
+
+            def timed(t=transport, sink=last):
+                sink[:] = [runner(t)]
+
+            times[transport] = _time(timed, repeat)
+            summaries[transport] = last[0].transcript.summary()
+        reference = summaries["lockstep"]
+        rows.append(
+            {
+                "protocol": name,
+                "n": n,
+                "d": d,
+                "seed": seed,
+                **{f"{t}_s": times[t] for t in TRANSPORTS},
+                "count_speedup": (
+                    times["lockstep"] / times["count"]
+                    if times["count"] > 0
+                    else float("inf")
+                ),
+                "total_bits": reference["total_bits"],
+                "rounds": reference["rounds"],
+                "transcripts_equal": all(
+                    summary == reference for summary in summaries.values()
+                ),
             }
         )
     return rows

@@ -20,6 +20,7 @@ __all__ = ["results_table", "write_results"]
 
 _COLUMNS = (
     ("scenario", "scenario"),
+    ("transport", "transport"),
     ("n", "n"),
     ("max_degree", "Δ"),
     ("num_colors", "colors"),
@@ -61,6 +62,7 @@ def write_results(
         "version": __version__,
         "count": len(results),
         "all_valid": all(bool(r.get("valid")) for r in results),
+        "transports": sorted({r.get("transport", "lockstep") for r in results}),
         "results": list(results),
     }
     json_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -70,7 +70,7 @@ def run_scenario(scenario: Scenario) -> dict[str, Any]:
     partition = build_partition(scenario)
     adapter = PROTOCOLS[scenario.protocol]
     start = time.perf_counter()
-    metrics = adapter.run(partition, scenario.effective_seed)
+    metrics = adapter.run(partition, scenario.effective_seed, scenario.transport)
     elapsed = time.perf_counter() - start
     record: dict[str, Any] = {
         "scenario": scenario.name,
@@ -78,6 +78,7 @@ def run_scenario(scenario: Scenario) -> dict[str, Any]:
         "family": scenario.family,
         "partition": scenario.partition,
         "backend": scenario.backend,
+        "transport": scenario.transport,
         "seed": scenario.effective_seed,
         "n": partition.n,
         "m": partition.graph.m,

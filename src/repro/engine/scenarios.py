@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Iterator
 
 from ..comm.randomness import _stable_hash
+from ..comm.transport import TRANSPORTS
 from ..core.edge_coloring import (
     run_edge_coloring,
     run_zero_comm_edge_coloring,
@@ -61,6 +62,9 @@ class Scenario:
     (family, params) workload key — scenarios sharing a workload
     deliberately share randomness so that protocol, partition, and backend
     comparisons run on the identical instance (see :meth:`workload_key`).
+    ``transport`` picks the comm-simulation backend (lockstep / count /
+    strict); every transport yields identical transcripts, so, like the
+    graph backend, it is a pure execution axis.
     """
 
     family: str
@@ -69,6 +73,7 @@ class Scenario:
     protocol: str
     backend: str = "set"
     seed: int | None = None
+    transport: str = "lockstep"
 
     def __post_init__(self) -> None:
         # Normalize params ordering so the same logical scenario always has
@@ -83,6 +88,8 @@ class Scenario:
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.backend not in GRAPH_BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {self.transport!r}")
 
     @property
     def workload_key(self) -> str:
@@ -105,8 +112,15 @@ class Scenario:
 
     @property
     def name(self) -> str:
-        """A stable human-readable identifier including the backend."""
-        return f"{self.coordinate}/{self.backend}"
+        """A stable human-readable identifier including the backend.
+
+        The transport appears only when it differs from the lockstep
+        default, so pre-existing scenario names are unchanged.
+        """
+        base = f"{self.coordinate}/{self.backend}"
+        if self.transport != "lockstep":
+            return f"{base}/{self.transport}"
+        return base
 
     @property
     def effective_seed(self) -> int:
@@ -122,6 +136,10 @@ class Scenario:
     def with_backend(self, backend: str) -> "Scenario":
         """The same scenario coordinate on another graph backend."""
         return replace(self, backend=backend)
+
+    def with_transport(self, transport: str) -> "Scenario":
+        """The same scenario coordinate on another comm transport."""
+        return replace(self, transport=transport)
 
 
 def _params(**kwargs: Any) -> tuple[tuple[str, Any], ...]:
@@ -203,9 +221,9 @@ FAMILIES: dict[str, Callable[..., Graph]] = {
 class ProtocolAdapter:
     """Uniform driver interface over the paper's protocol entry points.
 
-    ``run(partition, seed)`` returns the metric record the engine stores;
-    every adapter validates its coloring against the definition-level
-    checkers so a sweep doubles as a correctness harness.
+    ``run(partition, seed, transport)`` returns the metric record the
+    engine stores; every adapter validates its coloring against the
+    definition-level checkers so a sweep doubles as a correctness harness.
     """
 
     key: str
@@ -213,8 +231,8 @@ class ProtocolAdapter:
     run: Callable[..., dict[str, Any]] = field(repr=False)
 
 
-def _run_vertex(partition, seed: int) -> dict[str, Any]:
-    result = run_vertex_coloring(partition, seed=seed)
+def _run_vertex(partition, seed: int, transport: str = "lockstep") -> dict[str, Any]:
+    result = run_vertex_coloring(partition, seed=seed, transport=transport)
     graph = partition.graph
     return {
         "total_bits": result.total_bits,
@@ -225,8 +243,8 @@ def _run_vertex(partition, seed: int) -> dict[str, Any]:
     }
 
 
-def _run_edge(partition, seed: int) -> dict[str, Any]:
-    result = run_edge_coloring(partition)
+def _run_edge(partition, seed: int, transport: str = "lockstep") -> dict[str, Any]:
+    result = run_edge_coloring(partition, transport=transport)
     graph = partition.graph
     return {
         "total_bits": result.total_bits,
@@ -236,8 +254,10 @@ def _run_edge(partition, seed: int) -> dict[str, Any]:
     }
 
 
-def _run_edge_zero_comm(partition, seed: int) -> dict[str, Any]:
-    result = run_zero_comm_edge_coloring(partition)
+def _run_edge_zero_comm(
+    partition, seed: int, transport: str = "lockstep"
+) -> dict[str, Any]:
+    result = run_zero_comm_edge_coloring(partition, transport=transport)
     graph = partition.graph
     return {
         "total_bits": result.total_bits,
@@ -376,14 +396,16 @@ def iter_scenarios(
     scenarios: Iterable[Scenario],
     pattern: str | None = None,
     backend: str | None = None,
+    transport: str | None = None,
 ) -> Iterator[Scenario]:
-    """Filter scenarios by name substring and/or force a backend.
+    """Filter scenarios by name substring and/or force a backend/transport.
 
     ``backend="both"`` expands every scenario to one variant per registered
     backend; any other value pins that backend; ``None`` keeps each
-    scenario's own.  Duplicates (e.g. pinning a backend on a grid that
-    already enumerates both) are dropped, so a sweep never reruns a
-    coordinate.
+    scenario's own.  ``transport`` pins the comm transport the same way
+    (``"all"`` expands to every registered transport).  Duplicates (e.g.
+    pinning a backend on a grid that already enumerates both) are dropped,
+    so a sweep never reruns a coordinate.
     """
     seen: set[Scenario] = set()
     for scenario in scenarios:
@@ -393,6 +415,10 @@ def iter_scenarios(
             variants = [scenario.with_backend(backend)]
         else:
             variants = [scenario]
+        if transport == "all":
+            variants = [v.with_transport(t) for v in variants for t in TRANSPORTS]
+        elif transport is not None:
+            variants = [v.with_transport(transport) for v in variants]
         for candidate in variants:
             if candidate in seen:
                 continue

@@ -22,10 +22,11 @@ This module provides:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
-from ..comm.bits import bitmap_cost
+from ..comm.bits import BitWriter, bitmap_cost
 from ..comm.ledger import Transcript
+from ..comm.transport import Channel, Transport, resolve_transport
 from ..graphs.graph import Edge, canonical_edge
 from ..graphs.partition import EdgePartition
 
@@ -35,6 +36,8 @@ __all__ = [
     "WStreamingAlgorithm",
     "reduce_streaming_to_two_party",
     "run_wstreaming",
+    "streaming_alice_proto",
+    "streaming_bob_proto",
 ]
 
 
@@ -52,6 +55,18 @@ class WStreamingAlgorithm(ABC):
     @abstractmethod
     def state_bits(self) -> int:
         """Exact size in bits of the current internal memory."""
+
+    def encode_state(self) -> Sequence[int]:
+        """The current memory as a real bit sequence of ``state_bits()`` bits.
+
+        The strict transport uses this to verify the reduction's declared
+        communication on every party hand-off; algorithms that cannot
+        encode their state exactly should not run under ``strict``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement encode_state(); "
+            "the strict transport cannot verify its state hand-off"
+        )
 
 
 class GreedyWStreamColorer(WStreamingAlgorithm):
@@ -87,6 +102,12 @@ class GreedyWStreamColorer(WStreamingAlgorithm):
 
     def state_bits(self) -> int:
         return bitmap_cost(self.n * self.num_colors)
+
+    def encode_state(self) -> list[int]:
+        writer = BitWriter()
+        for used in self._used:
+            writer.write_bitmap(c in used for c in range(1, self.num_colors + 1))
+        return writer.to_bits()
 
 
 class BufferedWStreamColorer(WStreamingAlgorithm):
@@ -125,6 +146,15 @@ class BufferedWStreamColorer(WStreamingAlgorithm):
         edge_bits = 2 * max((self.n - 1).bit_length(), 1)
         return len(self._buffer) * edge_bits + 2 * max(self._next_color.bit_length(), 1)
 
+    def encode_state(self) -> list[int]:
+        writer = BitWriter()
+        endpoint_bits = max((self.n - 1).bit_length(), 1)
+        for u, v in self._buffer:
+            writer.write_uint(u, endpoint_bits)
+            writer.write_uint(v, endpoint_bits)
+        writer.write_uint(self._next_color, 2 * max(self._next_color.bit_length(), 1))
+        return writer.to_bits()
+
     def _flush(self) -> list[tuple[Edge, int]]:
         if not self._buffer:
             return []
@@ -162,9 +192,45 @@ def run_wstreaming(
     return colors, peak
 
 
+def _encode_algorithm_state(algorithm: WStreamingAlgorithm) -> Sequence[int]:
+    """Strict codec for the simulated memory hand-off."""
+    return algorithm.encode_state()
+
+
+def streaming_alice_proto(ch: Channel, edges, algorithm: WStreamingAlgorithm):
+    """Alice's side of the reduction: stream, then ship the memory state.
+
+    The payload is the live algorithm instance — the simulation's stand-in
+    for a serialized memory snapshot; the declared cost is the *measured*
+    ``state_bits()``, which the strict transport verifies against
+    ``encode_state()``.
+    """
+    out: dict[Edge, int] = {}
+    for edge in edges:
+        for out_edge, color in algorithm.process(edge):
+            out[canonical_edge(*out_edge)] = color
+    yield from ch.send(
+        algorithm.state_bits(), algorithm, codec=_encode_algorithm_state
+    )
+    return out
+
+
+def streaming_bob_proto(ch: Channel, edges):
+    """Bob's side of the reduction: receive the state, finish the stream."""
+    algorithm = yield from ch.recv()
+    out: dict[Edge, int] = {}
+    for edge in edges:
+        for out_edge, color in algorithm.process(edge):
+            out[canonical_edge(*out_edge)] = color
+    for out_edge, color in algorithm.finish():
+        out[canonical_edge(*out_edge)] = color
+    return out
+
+
 def reduce_streaming_to_two_party(
     partition: EdgePartition,
     algorithm_factory,
+    transport: str | Transport | None = None,
 ) -> tuple[dict[Edge, int], dict[Edge, int], Transcript]:
     """Simulate a W-streaming algorithm as a weaker-two-party protocol.
 
@@ -177,20 +243,12 @@ def reduce_streaming_to_two_party(
     yields an ``s``-bit protocol, and Theorem 5's ``Ω(n)`` bound on the
     protocol forces ``s = Ω(n)``.
     """
-    algorithm = algorithm_factory()
-    alice_out: dict[Edge, int] = {}
-    for edge in sorted(partition.alice_edges):
-        for out_edge, color in algorithm.process(edge):
-            alice_out[canonical_edge(*out_edge)] = color
-
-    transcript = Transcript()
-    transcript.record_round(algorithm.state_bits(), 0)
-
-    bob_out: dict[Edge, int] = {}
-    for edge in sorted(partition.bob_edges):
-        for out_edge, color in algorithm.process(edge):
-            bob_out[canonical_edge(*out_edge)] = color
-    for out_edge, color in algorithm.finish():
-        bob_out[canonical_edge(*out_edge)] = color
+    core = resolve_transport(transport)
+    alice_out, bob_out, transcript = core.run(
+        lambda ch: streaming_alice_proto(
+            ch, sorted(partition.alice_edges), algorithm_factory()
+        ),
+        lambda ch: streaming_bob_proto(ch, sorted(partition.bob_edges)),
+    )
     return alice_out, bob_out, transcript
 
