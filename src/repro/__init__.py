@@ -20,7 +20,7 @@ Quickstart::
     print(result.total_bits, "bits in", result.rounds, "rounds")
 """
 
-from . import analysis, baselines, coloring, comm, core, graphs, lowerbound, verify
+from . import analysis, baselines, coloring, comm, core, graphs, lowerbound, rand, verify
 
 __version__ = "1.1.0"
 
@@ -35,6 +35,7 @@ __all__ = [
     "engine",
     "graphs",
     "lowerbound",
+    "rand",
     "verify",
     "__version__",
 ]

@@ -13,8 +13,11 @@ Subcommands:
     Compare the set-based and bitset graph backends on the shared
     medium benchmark workload (kernels + end-to-end protocols), under
     ``--transport``; with ``--compare-transports``, time the protocols
-    across all three comm transports instead.  ``--json`` writes the
-    rows to a machine-readable file.
+    across all three comm transports instead; with ``--rand``, time the
+    randomness substrates (legacy ``random.Random`` tape vs
+    ``repro.rand`` streams) on micro draws and the Theorem 1 vertex
+    path; with ``--profile``, emit cProfile's top functions for that
+    path.  ``--json`` writes the rows to a machine-readable file.
 
 ``list-scenarios``
     Print the scenario names a sweep would run, without running them.
@@ -33,6 +36,8 @@ from .engine import (
     backend_comparison,
     default_scenarios,
     iter_scenarios,
+    profile_hotspots,
+    rand_comparison,
     results_table,
     smoke_scenarios,
     sweep,
@@ -125,6 +130,30 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench_p.add_argument(
+        "--rand",
+        action="store_true",
+        help=(
+            "time the randomness substrates (legacy random.Random tape "
+            "vs repro.rand streams) on micro draws and the Theorem 1 "
+            "vertex path instead of comparing graph backends"
+        ),
+    )
+    bench_p.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "cProfile the Theorem 1 vertex path on the medium workload "
+            "and print the top functions by cumulative time"
+        ),
+    )
+    bench_p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="rows to keep with --profile (default 15)",
+    )
+    bench_p.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -184,6 +213,92 @@ def _write_bench_json(rows, path: str, label: str) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    exclusive = [args.compare_transports, args.rand, args.profile]
+    if sum(exclusive) > 1:
+        print(
+            "error: --compare-transports, --rand, and --profile are "
+            "mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.rand or args.profile) and args.transport != "lockstep":
+        mode = "--rand" if args.rand else "--profile"
+        print(
+            f"error: --transport conflicts with {mode} "
+            "(these modes always run on the lockstep reference transport)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.rand:
+        degree = args.degree if args.degree is not None else 8
+        try:
+            rows = rand_comparison(
+                n=args.n, d=degree, seed=args.seed, repeat=args.repeat
+            )
+        except ValueError as exc:
+            print(f"error: infeasible workload: {exc}", file=sys.stderr)
+            return 2
+        table_rows = [
+            [
+                r["op"],
+                f"{r['tape_s'] * 1e3:.3f}",
+                f"{r['stream_s'] * 1e3:.3f}",
+                f"{r['speedup']:.2f}x",
+            ]
+            for r in rows
+        ]
+        print(
+            format_table(
+                ["op", "random.Random tape (ms)", "stream (ms)", "speedup"],
+                table_rows,
+                title=(
+                    f"randomness substrate comparison — medium workload "
+                    f"(n={args.n}, d={degree}, seed={args.seed})"
+                ),
+            )
+        )
+        if args.json:
+            _write_bench_json(rows, args.json, "rand_comparison")
+        protocol_rows = [r for r in rows if r["op"].startswith("protocol")]
+        if not all(r.get("stream_coloring_proper") for r in protocol_rows):
+            print("stream substrate produced an improper coloring!", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.profile:
+        degree = args.degree if args.degree is not None else 8
+        try:
+            rows = profile_hotspots(
+                n=args.n, d=degree, seed=args.seed, top=args.top
+            )
+        except ValueError as exc:
+            print(f"error: infeasible workload: {exc}", file=sys.stderr)
+            return 2
+        table_rows = [
+            [
+                r["function"],
+                f"{r['file']}:{r['line']}",
+                str(r["ncalls"]),
+                f"{r['tottime_s'] * 1e3:.3f}",
+                f"{r['cumtime_s'] * 1e3:.3f}",
+            ]
+            for r in rows
+        ]
+        print(
+            format_table(
+                ["function", "location", "ncalls", "tottime (ms)", "cumtime (ms)"],
+                table_rows,
+                title=(
+                    f"cProfile hotspots — vertex (thm 1) on the medium "
+                    f"workload (n={args.n}, d={degree}, seed={args.seed})"
+                ),
+            )
+        )
+        if args.json:
+            _write_bench_json(rows, args.json, "profile_hotspots")
+        return 0
+
     if args.compare_transports:
         if args.transport != "lockstep":
             print(

@@ -11,8 +11,8 @@ precisely removing this round bottleneck.
 
 from __future__ import annotations
 
-from ..comm.randomness import PublicRandomness
 from ..comm.transport import Channel, Transport, as_party, resolve_transport
+from ..rand import Stream
 from ..core.color_sample import color_sample_proto
 from ..graphs.graph import Graph
 from ..graphs.partition import EdgePartition
@@ -25,21 +25,22 @@ def flin_mittal_proto(
     ch: Channel,
     own_graph: Graph,
     num_colors: int,
-    pub: PublicRandomness,
+    pub: Stream,
 ):
     """One party's side of the sequential FM25 protocol."""
     order = pub.shuffled(range(own_graph.n))
+    fm_base = pub.derive("fm")
     colors: dict[int, int] = {}
     for v in order:
         own_used = {colors[u] for u in own_graph.neighbors(v) if u in colors}
         color = yield from color_sample_proto(
-            ch, num_colors, own_used, pub.spawn(f"fm-{v}")
+            ch, num_colors, own_used, fm_base.derive(v)
         )
         colors[v] = color
     return colors
 
 
-def flin_mittal_party(own_graph: Graph, num_colors: int, pub: PublicRandomness):
+def flin_mittal_party(own_graph: Graph, num_colors: int, pub: Stream):
     """Legacy generator-API adapter for :func:`flin_mittal_proto`."""
     return as_party(flin_mittal_proto, own_graph, num_colors, pub)
 
@@ -60,10 +61,10 @@ def run_flin_mittal(
         )
     a_colors, b_colors, _ = core.run(
         lambda ch: flin_mittal_proto(
-            ch, partition.alice_graph, num_colors, PublicRandomness(seed)
+            ch, partition.alice_graph, num_colors, Stream.from_seed(seed, "public")
         ),
         lambda ch: flin_mittal_proto(
-            ch, partition.bob_graph, num_colors, PublicRandomness(seed)
+            ch, partition.bob_graph, num_colors, Stream.from_seed(seed, "public")
         ),
         transcript,
     )

@@ -17,12 +17,11 @@ ships both full edge sets and both parties greedy-color identically.
 from __future__ import annotations
 
 import math
-import random
 
 from ..comm.bits import gamma_cost, uint_cost
 from ..comm.codecs import edge_list_codec
-from ..comm.randomness import PublicRandomness
 from ..comm.transport import Channel, Transport, as_party, resolve_transport
+from ..rand import Stream, derived_random
 from ..coloring.greedy import greedy_vertex_coloring
 from ..coloring.list_coloring import solve_list_coloring
 from ..graphs.graph import Graph
@@ -50,15 +49,19 @@ def one_round_sparsify_proto(
     ch: Channel,
     own_graph: Graph,
     num_colors: int,
-    pub: PublicRandomness,
+    pub: Stream,
     solver_seed: int,
 ):
     """One party's side of the one-round sparsification protocol."""
     n = own_graph.n
     ell = ack_list_size(n, num_colors)
-    lists = {
-        v: set(pub.shuffled(range(1, num_colors + 1))[:ell]) for v in range(n)
-    }
+    # Per-vertex derived streams: a lazy permutation prefix is a uniform
+    # ordered ell-subset of the palette, read in O(ell) not O(m).
+    list_base = pub.derive("ack-list")
+    lists = {}
+    for v in range(n):
+        perm = list_base.derive(v).permutation(num_colors)
+        lists[v] = {perm[i] + 1 for i in range(ell)}
 
     conflicts = [
         (u, v) for u, v in own_graph.edges() if lists[u] & lists[v]
@@ -70,7 +73,7 @@ def one_round_sparsify_proto(
     )
 
     sparsified = Graph(n, list(conflicts) + list(peer_conflicts))
-    colors = solve_list_coloring(sparsified, lists, random.Random(solver_seed))
+    colors = solve_list_coloring(sparsified, lists, derived_random(solver_seed, "solver"))
     if colors is not None:
         return colors
 
@@ -87,7 +90,7 @@ def one_round_sparsify_proto(
 def one_round_sparsify_party(
     own_graph: Graph,
     num_colors: int,
-    pub: PublicRandomness,
+    pub: Stream,
     solver_seed: int,
 ):
     """Legacy generator-API adapter for :func:`one_round_sparsify_proto`."""
@@ -113,10 +116,10 @@ def run_one_round_sparsify(
         )
     a_colors, b_colors, _ = core.run(
         lambda ch: one_round_sparsify_proto(
-            ch, partition.alice_graph, num_colors, PublicRandomness(seed), seed + 1
+            ch, partition.alice_graph, num_colors, Stream.from_seed(seed, "public"), seed + 1
         ),
         lambda ch: one_round_sparsify_proto(
-            ch, partition.bob_graph, num_colors, PublicRandomness(seed), seed + 1
+            ch, partition.bob_graph, num_colors, Stream.from_seed(seed, "public"), seed + 1
         ),
         transcript,
     )

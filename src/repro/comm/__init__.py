@@ -11,6 +11,10 @@ sub-channels) backed by one of three pluggable transports: ``lockstep``
 (reference semantics), ``count`` (no payload wrappers or round logs — the
 fast path for large sweeps), and ``strict`` (every payload encoded through
 the codecs, declared sizes verified on every message).
+
+The randomness substrate itself lives in :mod:`repro.rand` (counter-based
+splittable streams); ``repro.comm.randomness`` re-exports the deprecated
+``PublicRandomness`` shim over it.
 """
 
 from .codecs import (

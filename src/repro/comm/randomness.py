@@ -1,97 +1,133 @@
-"""Shared (public) and private randomness for two-party protocols.
+"""Deprecated compatibility shim — the randomness layer lives in
+:mod:`repro.rand` now.
 
-The paper's protocols assume public randomness (Section 3.1): both parties
-observe the same random tape.  :class:`PublicRandomness` models the tape as a
-seeded :class:`random.Random` both parties read in the same order — reads are
-part of the protocol schedule, which is common knowledge, so both parties
-always agree on every public draw without communication.
+The paper's protocols assume public randomness (Section 3.1): both
+parties observe the same random tape.  That tape is now a
+counter-based splittable :class:`repro.rand.Stream`; this module keeps
+the historical names working:
 
-``Newman's theorem`` [New91] lets public randomness be replaced by private
-randomness at an additive ``O(log n + log(1/δ))`` communication cost;
-:func:`newman_overhead_bits` reports that surcharge so experiments can quote
-private-coin costs too.
+* :class:`PublicRandomness` — the old tape class, now a thin
+  :class:`~repro.rand.Stream` subclass.  ``spawn`` is an alias for
+  ``derive`` and therefore **no longer consumes parent tape state**:
+  sibling spawns used to depend on call order (the parent's
+  ``getrandbits`` advanced per spawn); they are independent now.
+  Draw values differ from the old ``random.Random`` tape — the test
+  suite pins invariants (parity, proper colorings) plus golden digests
+  of the *new* streams, so nothing needed re-pinning at the migration.
+  ``seed=None`` still entropy-seeds, as the old tape did.
+* :func:`split_rng` — the old stateful private-stream splitter,
+  unchanged for callers that still hold a ``random.Random``.  New code
+  should use :meth:`repro.rand.Stream.derive_random`, which is
+  order-independent.
+
+``Newman's theorem`` [New91] lets public randomness be replaced by
+private randomness at an additive ``O(log n + log(1/δ))`` communication
+cost; :func:`newman_overhead_bits` reports that surcharge so experiments
+can quote private-coin costs too.
 """
 
 from __future__ import annotations
 
 import math
 import random
-import zlib
-from collections.abc import Sequence
-from typing import TypeVar
+
+from ..rand import Label, Stream, stable_label_hash
 
 __all__ = ["PublicRandomness", "newman_overhead_bits", "split_rng"]
 
-T = TypeVar("T")
+
+class _PermList(list):
+    """A materialized permutation that also satisfies the lazy-perm API.
+
+    Old callers treat it as the plain list the old API returned; migrated
+    protocols handed a :class:`PublicRandomness` still get ``index_of`` /
+    ``materialize``.  The inverse table is built once on first use, like
+    the old color-sample call sites did.
+    """
+
+    _inverse: dict[int, int] | None = None
+
+    def index_of(self, x: int) -> int:
+        inverse = self._inverse
+        if inverse is None:
+            inverse = {y: i for i, y in enumerate(self)}
+            self._inverse = inverse
+        return inverse[x]
+
+    def materialize(self) -> list[int]:
+        return list(self)
 
 
-class PublicRandomness:
-    """A shared random tape read identically by Alice and Bob."""
+class PublicRandomness(Stream):
+    """Deprecated: the shared public tape, now backed by :class:`Stream`.
+
+    Kept so existing call sites (``PublicRandomness(seed)`` plus the
+    ``coin`` / ``permutation`` / ``sample_mask`` / ``spawn`` vocabulary)
+    keep working.  ``permutation`` still returns a plain list for old
+    callers; protocols migrated to :class:`Stream` get lazy permutations
+    instead.  ``draws`` counts old-API draw operations, as before.
+    """
+
+    __slots__ = ("draws",)
 
     def __init__(self, seed: int | None = 0) -> None:
-        self._rng = random.Random(seed)
+        # from_seed handles None by entropy-seeding, like random.Random.
+        super().__init__(Stream.from_seed(seed).key)
         self.draws = 0
 
     def coin(self, p: float = 0.5) -> bool:
-        """One public coin flip with success probability ``p``."""
         self.draws += 1
-        return self._rng.random() < p
+        return super().coin(p)
 
     def uniform_int(self, low: int, high: int) -> int:
-        """A public uniform integer in ``[low, high]`` inclusive."""
         self.draws += 1
-        return self._rng.randint(low, high)
+        return super().uniform_int(low, high)
 
-    def permutation(self, m: int) -> list[int]:
-        """A public uniform permutation of ``range(m)``."""
-        self.draws += 1
-        perm = list(range(m))
-        self._rng.shuffle(perm)
-        return perm
+    def permutation(self, m: int) -> list[int]:  # type: ignore[override]
+        """Old API: the permutation as a materialized list.
 
-    def sample_mask(self, m: int, p: float) -> list[bool]:
-        """Include each of ``m`` positions independently with probability ``p``."""
-        self.draws += 1
-        if p >= 1.0:
-            return [True] * m
-        if p <= 0.0:
-            return [False] * m
-        rnd = self._rng.random
-        return [rnd() < p for _ in range(m)]
-
-    def choice(self, items: Sequence[T]) -> T:
-        """A public uniform element of a non-empty sequence."""
-        self.draws += 1
-        return self._rng.choice(items)
-
-    def shuffled(self, items: Sequence[T]) -> list[T]:
-        """A public uniform shuffle of ``items`` (original left untouched)."""
-        self.draws += 1
-        out = list(items)
-        self._rng.shuffle(out)
-        return out
-
-    def spawn(self, label: str) -> "PublicRandomness":
-        """Derive an independent public tape for a labelled sub-protocol.
-
-        Both parties derive the same child tape because the label and the
-        parent seed state are common knowledge.  Uses a stable (CRC-based)
-        label hash so runs are reproducible across processes.
+        Keyed by one stream word but shuffled with the stdlib's C
+        Fisher–Yates — a full list is being built regardless, so the old
+        cost model is the right one here (cycle-walking every position
+        of a lazy permutation would be strictly slower).
         """
         self.draws += 1
-        child_seed = self._rng.getrandbits(64) ^ _stable_hash(label)
-        return PublicRandomness(child_seed)
+        table = list(range(m))
+        random.Random(self.next64()).shuffle(table)
+        return _PermList(table)
 
+    def sample_mask(self, m: int, p: float) -> list[bool]:
+        self.draws += 1
+        return super().sample_mask(m, p)
 
-def _stable_hash(label: str) -> int:
-    """A process-independent 64-bit hash of a label."""
-    data = label.encode("utf-8")
-    return (zlib.crc32(data) << 32) | zlib.crc32(data[::-1])
+    def choice(self, items):
+        self.draws += 1
+        return super().choice(items)
+
+    def shuffled(self, items):
+        self.draws += 1
+        return super().shuffled(items)
+
+    def spawn(self, label: Label) -> "PublicRandomness":
+        """Derive an independent public tape for a labelled sub-protocol.
+
+        Now pure: sibling spawns are identical regardless of call order,
+        and spawning never advances the parent tape (the old
+        implementation consumed ``getrandbits`` per spawn).
+        """
+        self.draws += 1
+        child = PublicRandomness(0)
+        child.key = self.derive(label).key
+        return child
 
 
 def split_rng(rng: random.Random, label: str) -> random.Random:
-    """Derive an independent private RNG stream for a labelled subtask."""
-    seed = rng.getrandbits(64) ^ _stable_hash(label)
+    """Deprecated: derive a private RNG for a labelled subtask.
+
+    Consumes ``rng`` state, so it is order-dependent; prefer
+    :meth:`repro.rand.Stream.derive_random`.
+    """
+    seed = rng.getrandbits(64) ^ stable_label_hash(label)
     return random.Random(seed)
 
 

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from collections.abc import Set
 
-from ..comm.randomness import PublicRandomness
 from ..comm.transport import Channel, as_party
+from ..rand import Stream
 from .slack import SAMPLING_CONSTANT, randomized_slack_proto
 
 __all__ = ["color_sample_party", "color_sample_proto"]
@@ -29,7 +29,7 @@ def color_sample_proto(
     ch: Channel,
     num_colors: int,
     own_used: Set[int],
-    pub: PublicRandomness,
+    pub: Stream,
     sampling_constant: int | None = None,
 ):
     """One party's side of Color-Sample.
@@ -43,26 +43,32 @@ def color_sample_proto(
     """
     if num_colors < 1:
         raise ValueError(f"palette must be non-empty, got {num_colors}")
-    bad = [c for c in own_used if not 1 <= c <= num_colors]
-    if bad:
-        raise ValueError(f"used colors outside palette [1..{num_colors}]: {bad[:3]}")
+    for c in own_used:
+        if not 1 <= c <= num_colors:
+            bad = sorted(x for x in own_used if not 1 <= x <= num_colors)
+            raise ValueError(
+                f"used colors outside palette [1..{num_colors}]: {bad[:3]}"
+            )
 
-    # Public uniform relabeling of the palette: position -> color.
-    position_to_color = pub.permutation(num_colors)
-    color_to_position = {color: pos for pos, color in enumerate(position_to_color)}
-    own_positions = {color_to_position[c - 1] for c in own_used}
+    # Public uniform relabeling of the palette: position -> color.  Only
+    # the |own_used| inverse lookups and one final forward lookup are
+    # requested; above repro.rand's small-m threshold those are O(1)
+    # Feistel queries, below it the first access materializes a table
+    # (cheaper than cycle-walking at small palette sizes).
+    perm = pub.permutation(num_colors)
+    own_positions = {perm.index_of(c - 1) for c in own_used}
 
     constant = SAMPLING_CONSTANT if sampling_constant is None else sampling_constant
     position = yield from randomized_slack_proto(
         ch, num_colors, own_positions, pub, constant=constant
     )
-    return position_to_color[position] + 1
+    return perm[position] + 1
 
 
 def color_sample_party(
     num_colors: int,
     own_used: Set[int],
-    pub: PublicRandomness,
+    pub: Stream,
     sampling_constant: int | None = None,
 ):
     """Legacy generator-API adapter for :func:`color_sample_proto`."""

@@ -35,8 +35,8 @@ from ..comm.codecs import (
     encode_edge_list,
     encode_flag_bitmap,
 )
-from ..comm.randomness import PublicRandomness
 from ..comm.transport import Channel, as_party
+from ..rand import Stream
 from ..coloring.greedy import greedy_d1lc_coloring
 from ..coloring.list_coloring import solve_list_coloring
 from ..graphs.graph import Graph
@@ -95,7 +95,7 @@ def d1lc_proto(
     own_lists: Mapping[int, set[int]],
     active: Sequence[int],
     num_colors: int,
-    pub: PublicRandomness,
+    pub: Stream,
     rng: random.Random,
 ):
     """One party's side of the D1LC protocol (Lemma 3.3).
@@ -121,9 +121,10 @@ def d1lc_proto(
     samplers = {}
     for v in active:
         own_complement = palette - set(own_lists[v])
+        v_base = pub.derive("d1lc", v)
         for j in range(ell):
             samplers[(v, j)] = (
-                lambda sub, used=own_complement, tape=pub.spawn(f"d1lc-{v}-{j}"):
+                lambda sub, used=own_complement, tape=v_base.derive(j):
                 color_sample_proto(sub, m, used, tape)
             )
     draws = yield from ch.parallel(samplers)
@@ -200,7 +201,7 @@ def d1lc_party(
     own_lists: Mapping[int, set[int]],
     active: Sequence[int],
     num_colors: int,
-    pub: PublicRandomness,
+    pub: Stream,
     rng: random.Random,
 ):
     """Legacy generator-API adapter for :func:`d1lc_proto`."""

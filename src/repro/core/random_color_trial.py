@@ -21,8 +21,8 @@ from __future__ import annotations
 import math
 
 from ..comm.bits import bitmap_cost
-from ..comm.randomness import PublicRandomness
 from ..comm.transport import Channel, as_party
+from ..rand import Stream
 from ..graphs.graph import Graph
 from .color_sample import color_sample_proto
 
@@ -51,7 +51,7 @@ def random_color_trial_proto(
     ch: Channel,
     own_graph: Graph,
     num_colors: int,
-    pub: PublicRandomness,
+    pub: Stream,
     max_iterations: int | None = None,
     active_history: list[int] | None = None,
 ):
@@ -75,15 +75,17 @@ def random_color_trial_proto(
         if not active:
             break
         # Public per-vertex participation coins (no communication).
-        awake = [v for v in active if pub.coin(0.5)]
+        flips = pub.coins(len(active), 0.5)
+        awake = [v for v, f in zip(active, flips) if f]
         if not awake:
             continue
 
+        iter_base = pub.derive("rct", iteration)
         samplers = {}
         for v in awake:
             own_used = own_graph.neighbor_colors(v, colors)
             samplers[v] = (
-                lambda sub, used=own_used, tape=pub.spawn(f"rct-{iteration}-{v}"):
+                lambda sub, used=own_used, tape=iter_base.derive(v):
                 color_sample_proto(sub, num_colors, used, tape)
             )
         chosen: dict[int, int] = yield from ch.parallel(samplers)
@@ -115,7 +117,7 @@ def random_color_trial_proto(
 def random_color_trial_party(
     own_graph: Graph,
     num_colors: int,
-    pub: PublicRandomness,
+    pub: Stream,
     max_iterations: int | None = None,
     active_history: list[int] | None = None,
 ):

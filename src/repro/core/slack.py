@@ -19,11 +19,12 @@ and ``randomized_slack_party`` are the legacy generator-API adapters.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Sequence, Set
 
 from ..comm.bits import uint_cost
-from ..comm.randomness import PublicRandomness
 from ..comm.transport import Channel, as_party
+from ..rand import Stream
 
 __all__ = [
     "randomized_slack_party",
@@ -53,8 +54,17 @@ def slack_find_proto(
     lower bound stays positive.
     """
     lo, hi = 0, len(ground)
+    # The per-round interval counts are bisections over this party's
+    # sorted positions inside the ground list — O(|own| + rounds·log)
+    # total instead of rescanning O(|I|) elements every round.  When the
+    # ground set is the canonical ``range(m)`` (Algorithm 3's saturated
+    # sample), positions are the elements themselves.
+    if isinstance(ground, range) and ground.start == 0 and ground.step == 1:
+        own_pos = sorted(e for e in own if 0 <= e < hi)
+    else:
+        own_pos = sorted(i for i, e in enumerate(ground) if e in own)
     if own_count is None or peer_count is None:
-        own_count = sum(1 for e in ground if e in own)
+        own_count = len(own_pos)
         peer_count = yield from ch.send(uint_cost(len(ground)), own_count)
     slack = (hi - lo) - own_count - peer_count
     if slack < 1:
@@ -62,7 +72,7 @@ def slack_find_proto(
 
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        own_left = sum(1 for i in range(lo, mid) if ground[i] in own)
+        own_left = bisect_left(own_pos, mid) - bisect_left(own_pos, lo)
         # (mid - lo).bit_length() == uint_cost(mid - lo) for positive widths;
         # inlined because this is the hottest declared-cost site in the repo.
         peer_left = yield from ch.send((mid - lo).bit_length(), own_left)
@@ -107,7 +117,7 @@ def randomized_slack_proto(
     ch: Channel,
     m: int,
     own: Set[int],
-    pub: PublicRandomness,
+    pub: Stream,
     constant: int = SAMPLING_CONSTANT,
 ):
     """Algorithm 3: randomized ``k``-Slack-Int over the ground set ``range(m)``.
@@ -125,10 +135,19 @@ def randomized_slack_proto(
         raise ValueError(f"ground size must be positive, got {m}")
     if constant < 1:
         raise ValueError(f"sampling constant must be >= 1, got {constant}")
+    own_in_range = -1  # computed once, on the first saturated guess
     for k_tilde in guess_schedule(m):
-        mask = pub.sample_mask(m, sampling_probability(m, k_tilde, constant))
-        sample = [i for i in range(m) if mask[i]]
-        own_count = sum(1 for i in sample if i in own)
+        # At saturation (p >= 1 — immediately, when m <= C) streams
+        # answer with the plain ground ``range`` in O(1): no masks, no
+        # draws — both parties skip identically, keeping lockstep — and
+        # counting our own set needs no scan either.
+        sample = pub.sample_indices(m, sampling_probability(m, k_tilde, constant))
+        if sample.__class__ is range:
+            if own_in_range < 0:
+                own_in_range = sum(1 for i in own if 0 <= i < m)
+            own_count = own_in_range
+        else:
+            own_count = sum(1 for i in sample if i in own)
         peer_count = yield from ch.send(uint_cost(len(sample)), own_count)
         if own_count + peer_count < len(sample):
             result = yield from slack_find_proto(
@@ -144,7 +163,7 @@ def randomized_slack_proto(
 def randomized_slack_party(
     m: int,
     own: Set[int],
-    pub: PublicRandomness,
+    pub: Stream,
     constant: int = SAMPLING_CONSTANT,
 ):
     """Legacy generator-API adapter for :func:`randomized_slack_proto`."""

@@ -21,8 +21,8 @@ import random
 from dataclasses import dataclass
 
 from ..comm.ledger import Transcript
-from ..comm.randomness import PublicRandomness, split_rng
 from ..comm.transport import Channel, Transport, resolve_transport
+from ..rand import Stream
 from ..graphs.graph import Graph
 from ..graphs.partition import EdgePartition
 from .d1lc import d1lc_proto
@@ -80,7 +80,7 @@ def vertex_coloring_proto(
     role: str,
     own_graph: Graph,
     num_colors: int,
-    pub: PublicRandomness,
+    pub: Stream,
     rng: random.Random,
     trial_cap: int,
 ):
@@ -97,7 +97,7 @@ def vertex_coloring_proto(
         )
     leftover_size = len(active)
     if active:
-        pub_leftover = pub.spawn("d1lc-phase")
+        pub_leftover = pub.derive("d1lc-phase")
         with ch.phase(PHASE_LEFTOVER):
             final = yield from d1lc_proto(
                 ch,
@@ -144,10 +144,13 @@ def run_vertex_coloring(
         else max_trial_iterations
     )
 
-    pub_alice = PublicRandomness(seed)
-    pub_bob = PublicRandomness(seed)
-    rng_alice = split_rng(random.Random(seed), "alice-private")
-    rng_bob = split_rng(random.Random(seed), "bob-private")
+    # Equal keys => identical public tapes; the private solver RNGs live
+    # in label-separated stream space, so they never collide with any
+    # public draw of the same seed.
+    pub_alice = Stream.from_seed(seed, "public")
+    pub_bob = Stream.from_seed(seed, "public")
+    rng_alice = Stream.from_seed(seed).derive_random("alice-private")
+    rng_bob = Stream.from_seed(seed).derive_random("bob-private")
 
     (a_colors, a_leftover), (b_colors, b_leftover), _ = core.run(
         lambda ch: vertex_coloring_proto(

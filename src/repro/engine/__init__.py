@@ -11,7 +11,13 @@ clients of this module; future scaling work (sharding, async runners, new
 workload families) plugs in here.
 """
 
-from .bench import backend_comparison, medium_workload, transport_comparison
+from .bench import (
+    backend_comparison,
+    medium_workload,
+    profile_hotspots,
+    rand_comparison,
+    transport_comparison,
+)
 from .results import results_table, write_results
 from .runner import build_partition, build_workload, run_scenario, sweep
 from .scenarios import (
@@ -33,6 +39,8 @@ __all__ = [
     "default_scenarios",
     "iter_scenarios",
     "medium_workload",
+    "profile_hotspots",
+    "rand_comparison",
     "results_table",
     "run_scenario",
     "smoke_scenarios",

@@ -14,21 +14,39 @@ comm transports (lockstep / count / strict) on the E4 edge-scaling
 workload (random d-regular, n=512, d=10) and checks that every transport
 produced identical transcript totals — the count-only transport's speedup
 is pure comm-simulation overhead removed, not changed behavior.
+
+``rand_comparison`` times the randomness substrates — the legacy
+``random.Random`` tape versus the ``repro.rand`` counter-based streams —
+on micro draws and on the end-to-end Theorem 1 vertex path, and
+``profile_hotspots`` emits cProfile's top functions for that path as
+JSON-ready rows so hot-path claims are reproducible from the CLI.
 """
 
 from __future__ import annotations
 
+import cProfile
+import pstats
+import random
 import time
 from typing import Any, Callable
 
-from ..comm.transport import TRANSPORTS
+from ..comm.transport import TRANSPORTS, resolve_transport
 from ..core.edge_coloring import run_edge_coloring, run_zero_comm_edge_coloring
-from ..core.vertex_coloring import run_vertex_coloring
+from ..core.random_color_trial import paper_iteration_count
+from ..core.vertex_coloring import run_vertex_coloring, vertex_coloring_proto
 from ..graphs import EdgePartition
+from ..graphs.validation import is_proper_vertex_coloring
+from ..rand import LegacyTape, Stream
 from .runner import build_partition
 from .scenarios import Scenario
 
-__all__ = ["backend_comparison", "medium_workload", "transport_comparison"]
+__all__ = [
+    "backend_comparison",
+    "medium_workload",
+    "profile_hotspots",
+    "rand_comparison",
+    "transport_comparison",
+]
 
 
 def medium_workload(n: int = 512, d: int = 8, seed: int = 42) -> EdgePartition:
@@ -127,6 +145,159 @@ def backend_comparison(
                 "set_s": set_s,
                 "bitset_s": bitset_s,
                 "speedup": set_s / bitset_s if bitset_s > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+def _run_vertex_on_tape(part: EdgePartition, seed: int, tape_cls) -> dict[int, int]:
+    """Theorem 1 end-to-end on an explicit randomness substrate.
+
+    Mirrors :func:`repro.core.run_vertex_coloring` but swaps the public
+    tapes, so the same migrated protocol code runs on either substrate.
+    """
+    num_colors = part.max_degree + 1
+    cap = paper_iteration_count(part.n)
+    core = resolve_transport(None)
+    transcript = core.new_transcript()
+    pub_alice, pub_bob = tape_cls(seed), tape_cls(seed)
+    rng_alice = random.Random((seed << 1) ^ 0xA11CE)
+    rng_bob = random.Random((seed << 1) ^ 0xB0B)
+    (colors, _), (b_colors, _), _ = core.run(
+        lambda ch: vertex_coloring_proto(
+            ch, "alice", part.alice_graph, num_colors, pub_alice, rng_alice, cap
+        ),
+        lambda ch: vertex_coloring_proto(
+            ch, "bob", part.bob_graph, num_colors, pub_bob, rng_bob, cap
+        ),
+        transcript,
+    )
+    if colors != b_colors:
+        raise AssertionError("parties disagree on the coloring")
+    return colors
+
+
+def rand_comparison(
+    n: int = 512, d: int = 8, seed: int = 42, repeat: int = 5
+) -> list[dict[str, Any]]:
+    """Rows of ``{op, tape_s, stream_s, speedup}`` — old tape vs streams.
+
+    Micro rows time the substrate primitives head-to-head (labelled
+    splitting, permutation reads, sparse masks, batch coins); the
+    protocol row runs the full Theorem 1 vertex path on the standard
+    medium workload under both substrates, with the streams' coloring
+    checked proper.  The tape rows execute the exact pre-``repro.rand``
+    cost model (:class:`repro.rand.LegacyTape`): eager O(m) permutations
+    with eager inverses, dense Bernoulli masks, a fresh Mersenne-Twister
+    per derived sub-stream.
+    """
+    part = medium_workload(n, d, seed)
+    m = part.max_degree + 1
+
+    def splitting(tape_factory):
+        def run():
+            root = tape_factory(seed)
+            for v in range(2000):
+                root.derive("bench", v)
+        return run
+
+    def perm_reads(tape_factory):
+        def run():
+            root = tape_factory(seed)
+            for v in range(2000):
+                perm = root.derive(v).permutation(m)
+                perm.index_of(v % m)
+                perm[0]
+        return run
+
+    def sparse_masks(tape_factory):
+        def run():
+            stream = tape_factory(seed).derive("mask")
+            for _ in range(100):
+                stream.sample_indices(4096, 0.01)
+        return run
+
+    def batch_coins(tape_factory):
+        def run():
+            stream = tape_factory(seed).derive("coins")
+            for _ in range(100):
+                stream.coins(n, 0.5)
+        return run
+
+    kernels: list[tuple[str, Callable, int]] = [
+        ("derive 2k sub-streams", splitting, 2 * repeat),
+        (f"2k lazy perm reads (m={m})", perm_reads, 2 * repeat),
+        ("sparse mask m=4096 p=0.01", sparse_masks, 2 * repeat),
+        (f"batch coins k={n} p=0.5", batch_coins, 2 * repeat),
+    ]
+
+    rows = []
+    for name, make, reps in kernels:
+        tape_s = _time(make(LegacyTape), reps)
+        stream_s = _time(make(lambda s: Stream.from_seed(s)), reps)
+        rows.append(
+            {
+                "op": name,
+                "n": n,
+                "d": d,
+                "seed": seed,
+                "tape_s": tape_s,
+                "stream_s": stream_s,
+                "speedup": tape_s / stream_s if stream_s > 0 else float("inf"),
+            }
+        )
+
+    colors = _run_vertex_on_tape(part, seed, lambda s: Stream.from_seed(s, "public"))
+    proper = is_proper_vertex_coloring(part.graph, colors, num_colors=m)
+    tape_s = _time(lambda: _run_vertex_on_tape(part, seed, LegacyTape), repeat)
+    stream_s = _time(
+        lambda: _run_vertex_on_tape(part, seed, lambda s: Stream.from_seed(s, "public")),
+        repeat,
+    )
+    rows.append(
+        {
+            "op": "protocol: vertex (thm 1)",
+            "n": n,
+            "d": d,
+            "seed": seed,
+            "tape_s": tape_s,
+            "stream_s": stream_s,
+            "speedup": tape_s / stream_s if stream_s > 0 else float("inf"),
+            "stream_coloring_proper": proper,
+        }
+    )
+    return rows
+
+
+def profile_hotspots(
+    n: int = 512, d: int = 8, seed: int = 42, top: int = 15
+) -> list[dict[str, Any]]:
+    """cProfile the Theorem 1 vertex path; top-``top`` rows by cumtime.
+
+    Each row is ``{function, file, line, ncalls, tottime_s, cumtime_s}``,
+    ready for the table renderers or ``--json`` — the reproducible form
+    of "the hot path is X" claims.
+    """
+    part = medium_workload(n, d, seed)
+    run_vertex_coloring(part, seed=seed)  # warm caches outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_vertex_coloring(part, seed=seed)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:top]:  # (file, line, name) in sort order
+        cc, nc, tottime, cumtime, _callers = stats.stats[func]
+        file, line, name = func
+        rows.append(
+            {
+                "function": name,
+                "file": file,
+                "line": line,
+                "ncalls": nc,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
             }
         )
     return rows

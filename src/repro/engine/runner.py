@@ -17,9 +17,8 @@ import time
 from functools import lru_cache
 from typing import Any, Callable, Iterable
 
-import random
-
 from ..graphs import EdgePartition, Graph, PARTITIONERS
+from ..rand import derived_random
 from .scenarios import FAMILIES, PROTOCOLS, Scenario
 
 __all__ = ["build_partition", "build_workload", "run_scenario", "sweep"]
@@ -28,7 +27,7 @@ __all__ = ["build_partition", "build_workload", "run_scenario", "sweep"]
 @lru_cache(maxsize=256)
 def _cached_workload(family: str, params: tuple, seed: int) -> Graph:
     builder = FAMILIES[family]
-    rng = random.Random(seed)
+    rng = derived_random(seed, "workload")
     return builder(rng, **dict(params))
 
 
@@ -42,9 +41,9 @@ def _cached_partition(
     family: str, params: tuple, seed: int, partition: str, backend: str
 ) -> EdgePartition:
     graph = _cached_workload(family, params, seed)
-    # The partitioner draws from its own stream so adding partition schemes
-    # never perturbs workload generation.
-    rng = random.Random(seed ^ 0x5EED5EED)
+    # The partitioner draws from its own labelled stream so adding
+    # partition schemes never perturbs workload generation.
+    rng = derived_random(seed, "partition")
     part = PARTITIONERS[partition](graph, rng)
     return part.astype(backend)
 

@@ -15,7 +15,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Iterator
 
-from ..comm.randomness import _stable_hash
+from ..rand import stable_label_hash
 from ..comm.transport import TRANSPORTS
 from ..core.edge_coloring import (
     run_edge_coloring,
@@ -127,7 +127,7 @@ class Scenario:
         """The explicit seed, or a stable 32-bit hash of the workload key."""
         if self.seed is not None:
             return self.seed
-        return _stable_hash(self.workload_key) & 0x7FFFFFFF
+        return stable_label_hash(self.workload_key) & 0x7FFFFFFF
 
     def param_dict(self) -> dict[str, Any]:
         """The family parameters as a plain dict."""

@@ -1,0 +1,46 @@
+"""``repro.rand`` — counter-based splittable randomness.
+
+The randomness substrate under every protocol in the library:
+
+* :class:`Stream` — a SplitMix64 counter-mode PRF keyed by
+  ``(seed, label path)``; ``derive(label)`` splits off independent child
+  streams in O(1) *without consuming parent state*, so sibling
+  sub-protocols never depend on derivation order (and parallel or
+  sharded sweeps stay reproducible).
+* Lazy permutations (:func:`make_permutation`) — ``perm[i]`` and
+  ``perm.index_of(x)`` on demand via a Feistel network with cycle
+  walking; no O(m) shuffle when only a few positions are read.
+* Geometric-skip sparse sampling (:meth:`Stream.sample_indices`) and
+  batch draw primitives (:meth:`Stream.coins`, :meth:`Stream.ints`).
+* :class:`LegacyTape` — the old ``random.Random`` tape behind the new
+  API, kept solely as the baseline for ``python -m repro bench --rand``.
+
+``repro.comm.randomness`` re-exports a deprecated compatibility shim
+(``PublicRandomness``) over :class:`Stream` for older call sites.
+"""
+
+from .core import Label, Stream, derived_random, mix64, stable_label_hash
+from .legacy import LegacyTape
+from .perm import (
+    SMALL_THRESHOLD,
+    FeistelPermutation,
+    Permutation,
+    SmallPermutation,
+    make_permutation,
+)
+from .sampling import geometric_indices
+
+__all__ = [
+    "FeistelPermutation",
+    "Label",
+    "LegacyTape",
+    "Permutation",
+    "SMALL_THRESHOLD",
+    "SmallPermutation",
+    "Stream",
+    "derived_random",
+    "geometric_indices",
+    "make_permutation",
+    "mix64",
+    "stable_label_hash",
+]

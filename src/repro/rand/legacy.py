@@ -1,0 +1,114 @@
+"""The pre-``repro.rand`` randomness substrate, kept for benchmarking.
+
+:class:`LegacyTape` reproduces the original ``random.Random``-backed
+public tape — eager O(m) permutations with an eager inverse table, dense
+O(m) Bernoulli masks, one method call per coin, and stateful ``derive``
+(a fresh Mersenne-Twister seeded per sub-protocol, consuming parent
+state exactly like the old ``PublicRandomness.spawn``) — behind the
+*new* :class:`repro.rand.Stream` API, so the migrated protocols can run
+unmodified on either substrate.  ``python -m repro bench --rand`` uses
+it as the baseline for the stream speedup table; nothing else should.
+
+Deliberately inherits the old spawn order-dependence: it is the
+"before" picture, bug and all.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+from .core import Label, stable_label_hash
+from .perm import Permutation
+
+__all__ = ["LegacyTape"]
+
+T = TypeVar("T")
+
+
+class _EagerPermutation(Permutation):
+    """A shuffled table with an eagerly built inverse dict (old cost model)."""
+
+    __slots__ = ("_forward", "_inverse")
+
+    def __init__(self, forward: list[int]) -> None:
+        super().__init__(len(forward))
+        self._forward = forward
+        self._inverse = {x: i for i, x in enumerate(forward)}
+
+    def __getitem__(self, i: int) -> int:
+        return self._forward[i]
+
+    def index_of(self, x: int) -> int:
+        return self._inverse[x]
+
+    def materialize(self) -> list[int]:
+        return list(self._forward)
+
+
+class LegacyTape:
+    """``random.Random`` tape exposing the :class:`~repro.rand.Stream` API."""
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._rng = random.Random(seed)
+
+    # -- splitting (stateful, order-dependent — the old behavior) ----------
+
+    def derive(self, *labels: Label) -> "LegacyTape":
+        child_seed = self._rng.getrandbits(64) ^ stable_label_hash(labels)
+        return LegacyTape(child_seed)
+
+    def derive_random(self, *labels: Label) -> random.Random:
+        return random.Random(self._rng.getrandbits(64) ^ stable_label_hash(labels))
+
+    # -- draws (eager/dense, the old cost model) ---------------------------
+
+    def next64(self) -> int:
+        return self._rng.getrandbits(64)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def coin(self, p: float = 0.5) -> bool:
+        return self._rng.random() < p
+
+    def coins(self, k: int, p: float = 0.5) -> list[bool]:
+        rnd = self._rng.random
+        return [rnd() < p for _ in range(k)]
+
+    def uniform_int(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def ints(self, k: int, low: int, high: int) -> list[int]:
+        randint = self._rng.randint
+        return [randint(low, high) for _ in range(k)]
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._rng.choice(items)
+
+    def shuffled(self, items: Sequence[T]) -> list[T]:
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def permutation(self, m: int) -> Permutation:
+        forward = list(range(m))
+        self._rng.shuffle(forward)
+        return _EagerPermutation(forward)
+
+    def sample_mask(self, m: int, p: float) -> list[bool]:
+        if p >= 1.0:
+            return [True] * m
+        if p <= 0.0:
+            return [False] * m
+        rnd = self._rng.random
+        return [rnd() < p for _ in range(m)]
+
+    def sample_indices(self, m: int, p: float) -> Sequence[int]:
+        # No saturation fast path on purpose: the old tape always built
+        # the dense mask and scanned it, even at p = 1.
+        mask = self.sample_mask(m, p)
+        return [i for i in range(m) if mask[i]]

@@ -1,0 +1,44 @@
+"""Sparse Bernoulli sampling via geometric gap-skipping.
+
+Drawing a Bernoulli(``p``) subset of ``range(m)`` coin-by-coin costs
+O(m) regardless of how sparse the subset is.  The classical alternative
+walks the *gaps*: the number of failures before the next success is
+geometric, ``G = ⌊ln(U) / ln(1-p)⌋`` for ``U`` uniform on ``(0, 1]``, so
+the expected work is O(p·m + 1).  The resulting subset has exactly the
+i.i.d. Bernoulli distribution — only the number of PRF words consumed
+differs — which the distribution-equivalence tests pin down against a
+dense reference sampler.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .core import Stream
+
+__all__ = ["geometric_indices"]
+
+_TWO53 = 9007199254740992.0
+
+
+def geometric_indices(stream: "Stream", m: int, p: float) -> list[int]:
+    """Sorted included indices of a Bernoulli(``p``) draw over ``range(m)``.
+
+    Requires ``0 < p < 1`` (callers fast-path the endpoints).  Consumes
+    one 64-bit word per included index plus one for the final overshoot.
+    """
+    inv_log_q = 1.0 / math.log1p(-p)
+    out: list[int] = []
+    append = out.append
+    next64 = stream.next64
+    i = 0
+    while True:
+        # U uniform on (0, 1]: shift into [0, 2^53) then add 1 ulp's worth.
+        u = ((next64() >> 11) + 1) / _TWO53
+        i += int(math.log(u) * inv_log_q)
+        if i >= m:
+            return out
+        append(i)
+        i += 1

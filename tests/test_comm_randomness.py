@@ -1,4 +1,11 @@
-"""Tests for public/private randomness: the shared-tape contract."""
+"""Tests for the deprecated ``repro.comm.randomness`` shim.
+
+The shared-tape contract tests are kept verbatim: the shim must honor the
+old ``PublicRandomness`` vocabulary (now over ``repro.rand`` streams).
+The spawn order-independence class is the regression test for the bug the
+migration fixed — spawn used to consume parent tape state, making sibling
+sub-protocol tapes depend on spawn call order.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ import random
 import pytest
 
 from repro.comm.randomness import PublicRandomness, newman_overhead_bits, split_rng
+from repro.rand import Stream
 
 
 class TestSharedTapeContract:
@@ -41,6 +49,62 @@ class TestSharedTapeContract:
     def test_different_seeds_diverge(self):
         a, b = PublicRandomness(1), PublicRandomness(2)
         assert [a.coin() for _ in range(50)] != [b.coin() for _ in range(50)]
+
+
+class TestSpawnOrderIndependence:
+    """Regression: spawn used to consume parent state (``getrandbits``),
+    so sibling spawns depended on call order.  It is pure now."""
+
+    def test_sibling_spawn_order_does_not_matter(self):
+        p1, p2 = PublicRandomness(6), PublicRandomness(6)
+        x1, y1 = p1.spawn("x"), p1.spawn("y")
+        y2, x2 = p2.spawn("y"), p2.spawn("x")
+        assert [x1.coin() for _ in range(20)] == [x2.coin() for _ in range(20)]
+        assert [y1.coin() for _ in range(20)] == [y2.coin() for _ in range(20)]
+
+    def test_spawn_does_not_consume_parent_tape(self):
+        a, b = PublicRandomness(6), PublicRandomness(6)
+        a.spawn("child")
+        a.spawn("other")
+        assert [a.coin() for _ in range(20)] == [b.coin() for _ in range(20)]
+
+    def test_spawn_after_draws_is_stable(self):
+        p = PublicRandomness(6)
+        before = p.spawn("child")
+        p.coin()
+        p.permutation(5)
+        after = p.spawn("child")
+        assert [before.coin() for _ in range(10)] == [
+            after.coin() for _ in range(10)
+        ]
+
+
+class TestShimInterop:
+    """The shim must satisfy both the old and the new API surfaces."""
+
+    def test_is_a_stream(self):
+        assert isinstance(PublicRandomness(0), Stream)
+
+    def test_matches_stream_draws(self):
+        pub, stream = PublicRandomness(12), Stream.from_seed(12)
+        assert [pub.coin() for _ in range(32)] == [
+            stream.coin() for _ in range(32)
+        ]
+
+    def test_permutation_is_a_list_with_lazy_perm_api(self):
+        perm = PublicRandomness(0).permutation(12)
+        assert isinstance(perm, list)
+        assert sorted(perm) == list(range(12))
+        # Migrated protocols handed a PublicRandomness still work:
+        assert perm[perm.index_of(5)] == 5
+        assert perm.materialize() == list(perm)
+
+    def test_new_api_available_through_shim(self):
+        pub = PublicRandomness(3)
+        assert len(pub.coins(10, 0.5)) == 10
+        assert list(pub.sample_indices(5, 1.0)) == [0, 1, 2, 3, 4]
+        child = pub.derive("sub")
+        assert isinstance(child, Stream)
 
 
 class TestDrawSemantics:

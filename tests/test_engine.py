@@ -15,6 +15,8 @@ from repro.engine import (
     build_workload,
     default_scenarios,
     iter_scenarios,
+    profile_hotspots,
+    rand_comparison,
     results_table,
     run_scenario,
     smoke_scenarios,
@@ -207,3 +209,55 @@ def test_cli_bench_tiny(capsys):
     assert main(["bench", "--n", "48", "--degree", "4", "--repeat", "1"]) == 0
     out = capsys.readouterr().out
     assert "graph backend comparison" in out
+
+
+def test_rand_comparison_rows():
+    rows = rand_comparison(n=48, d=4, seed=1, repeat=1)
+    assert {r["op"] for r in rows} >= {"derive 2k sub-streams", "protocol: vertex (thm 1)"}
+    protocol = next(r for r in rows if r["op"].startswith("protocol"))
+    assert protocol["stream_coloring_proper"]
+    assert all(r["tape_s"] > 0 and r["stream_s"] > 0 for r in rows)
+
+
+def test_profile_hotspots_rows():
+    rows = profile_hotspots(n=48, d=4, seed=1, top=5)
+    assert 0 < len(rows) <= 5
+    assert {"function", "file", "line", "ncalls", "tottime_s", "cumtime_s"} <= set(
+        rows[0]
+    )
+    # cumtime-sorted: the driver should dominate the first row
+    assert rows[0]["cumtime_s"] >= rows[-1]["cumtime_s"]
+
+
+def test_cli_bench_rand_and_profile(tmp_path, capsys):
+    out_json = tmp_path / "rand.json"
+    assert main(
+        ["bench", "--rand", "--n", "48", "--degree", "4", "--repeat", "1",
+         "--json", str(out_json)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "randomness substrate comparison" in out
+    document = json.loads(out_json.read_text())
+    assert document["bench"] == "rand_comparison"
+    assert any(r["op"].startswith("protocol") for r in document["rows"])
+
+    assert main(["bench", "--profile", "--n", "48", "--degree", "4", "--top", "5"]) == 0
+    assert "cProfile hotspots" in capsys.readouterr().out
+
+
+def test_cli_bench_mode_flags_are_exclusive(capsys):
+    assert main(["bench", "--rand", "--profile"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_cli_bench_rand_and_profile_reject_transport(capsys):
+    assert main(["bench", "--rand", "--transport", "count"]) == 2
+    assert "--transport conflicts with --rand" in capsys.readouterr().err
+    assert main(["bench", "--profile", "--transport", "strict"]) == 2
+    assert "--transport conflicts with --profile" in capsys.readouterr().err
+
+
+def test_cli_bench_profile_rejects_infeasible_workload(capsys):
+    # n*d odd -> random_regular_graph raises; the CLI must exit 2 cleanly.
+    assert main(["bench", "--profile", "--n", "11", "--degree", "3"]) == 2
+    assert "infeasible workload" in capsys.readouterr().err

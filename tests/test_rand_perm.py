@@ -1,0 +1,112 @@
+"""Tests for lazy permutations: Feistel bijectivity and the small-m table.
+
+The Feistel network must be a bijection on ``[0, m)`` for *every* m —
+cycle walking handles non-powers-of-two — and the inverse must invert
+exactly, because Color-Sample maps used colors through ``index_of`` and
+the sampled position back through ``perm[i]``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+import pytest
+
+from repro.rand import (
+    SMALL_THRESHOLD,
+    FeistelPermutation,
+    SmallPermutation,
+    Stream,
+    make_permutation,
+)
+
+NON_POWERS_OF_TWO = [1, 2, 3, 5, 6, 7, 9, 11, 12, 13, 37, 97, 100, 129, 1000, 4097]
+
+
+class TestFeistelBijectivity:
+    @pytest.mark.parametrize("m", NON_POWERS_OF_TWO)
+    def test_is_a_permutation(self, m):
+        perm = FeistelPermutation(0xC0FFEE ^ m, m)
+        assert sorted(perm.materialize()) == list(range(m))
+
+    @pytest.mark.parametrize("m", NON_POWERS_OF_TWO)
+    def test_inverse_round_trip(self, m):
+        perm = FeistelPermutation(0xBADF00D ^ m, m)
+        for i in range(m):
+            assert perm.index_of(perm[i]) == i
+        for x in range(m):
+            assert perm[perm.index_of(x)] == x
+
+    def test_pinned_golden(self):
+        perm = FeistelPermutation(0xDEADBEEF, 1000)
+        digest = hashlib.sha256(
+            ",".join(map(str, perm.materialize())).encode()
+        ).hexdigest()
+        assert digest == (
+            "7594c54ef440d1ddc19337441f53133781d8187b7f988273241a801515aeb2c9"
+        )
+
+    def test_different_keys_differ(self):
+        a = FeistelPermutation(1, 500).materialize()
+        b = FeistelPermutation(2, 500).materialize()
+        assert a != b
+
+    def test_out_of_range_rejected(self):
+        perm = FeistelPermutation(7, 10)
+        with pytest.raises(IndexError):
+            perm[10]
+        with pytest.raises(IndexError):
+            perm.index_of(-1)
+
+    def test_lazy_iteration_matches_materialize(self):
+        perm = FeistelPermutation(99, 200)
+        assert list(perm) == perm.materialize()
+        assert len(perm) == 200
+
+
+class TestSmallPermutation:
+    @pytest.mark.parametrize("m", list(range(0, 14)) + [37, SMALL_THRESHOLD])
+    def test_is_a_permutation_with_exact_inverse(self, m):
+        perm = SmallPermutation(0x5EED ^ m, m)
+        assert sorted(perm.materialize()) == list(range(m))
+        for i in range(m):
+            assert perm.index_of(perm[i]) == i
+
+    def test_lazy_until_first_access(self):
+        perm = SmallPermutation(1, 20)
+        assert perm._forward is None  # construction draws nothing
+        perm[0]
+        assert perm._forward is not None
+
+    def test_lehmer_path_is_uniformish(self):
+        # m=5 uses the one-word Lehmer decode; every first element should
+        # appear ~1/5 of the time across keys.
+        counts = Counter(SmallPermutation(key, 5)[0] for key in range(10000))
+        assert all(abs(c - 2000) < 300 for c in counts.values()), counts
+
+
+class TestMakePermutation:
+    def test_backend_choice_is_size_deterministic(self):
+        assert isinstance(make_permutation(3, SMALL_THRESHOLD), SmallPermutation)
+        assert isinstance(make_permutation(3, SMALL_THRESHOLD + 1), FeistelPermutation)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_permutation(3, -1)
+
+
+class TestStreamPermutation:
+    def test_shared_stream_permutations_agree(self):
+        a, b = Stream.from_seed(7), Stream.from_seed(7)
+        for m in (1, 2, 5, 33, 200):
+            assert a.permutation(m).materialize() == b.permutation(m).materialize()
+
+    def test_successive_permutations_differ(self):
+        s = Stream.from_seed(7)
+        assert s.permutation(50).materialize() != s.permutation(50).materialize()
+
+    def test_consumes_exactly_one_word(self):
+        s = Stream.from_seed(7)
+        s.permutation(1000)
+        assert s.counter == 1
