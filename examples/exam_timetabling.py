@@ -20,7 +20,7 @@ import random
 
 from repro.comm import PublicRandomness, Transcript, run_protocol, split_rng
 from repro.core import d1lc_party
-from repro.graphs import Graph, gnp_with_max_degree, is_proper_list_coloring, partition_random
+from repro.graphs import gnp_with_max_degree, is_proper_list_coloring, partition_random
 
 
 def build_instance(rng: random.Random):

@@ -74,14 +74,14 @@ def main() -> None:
     plan = run_vertex_coloring(partition, seed=2024)
     assert_proper_vertex_coloring(graph, plan.colors, delta + 1)
     channels = len(set(plan.colors.values()))
-    print(f"\nfrequency plan via Theorem 1:")
+    print("\nfrequency plan via Theorem 1:")
     print(f"  channels used       : {channels} (≤ Δ+1 = {delta + 1})")
     print(f"  backhaul traffic    : {plan.total_bits} bits "
           f"({plan.total_bits / stations:.1f} per station)")
     print(f"  coordination rounds : {plan.rounds}")
 
     naive = run_naive_exchange(partition)
-    print(f"\nnaive plan (ship all measurements):")
+    print("\nnaive plan (ship all measurements):")
     print(f"  backhaul traffic    : {naive.total_bits} bits")
     print(f"  savings from Theorem 1: "
           f"{naive.total_bits / max(plan.total_bits, 1):.1f}x less traffic")

@@ -67,13 +67,13 @@ def main() -> None:
 
     tight = run_edge_coloring(partition)
     assert_proper_edge_coloring(graph, tight.colors, 2 * delta - 1)
-    print(f"\n(2Δ−1)-slot schedule  [Theorem 2]")
+    print("\n(2Δ−1)-slot schedule  [Theorem 2]")
     print(f"  slots   : {schedule_summary(tight.colors, 2 * delta - 1)}")
     print(f"  control : {tight.total_bits} bits in {tight.rounds} rounds")
 
     free = run_zero_comm_edge_coloring(partition)
     assert_proper_edge_coloring(graph, free.colors, 2 * delta)
-    print(f"\n(2Δ)-slot schedule  [Theorem 3]")
+    print("\n(2Δ)-slot schedule  [Theorem 3]")
     print(f"  slots   : {schedule_summary(free.colors, 2 * delta)}")
     print(f"  control : {free.total_bits} bits in {free.rounds} rounds "
           f"(fully autonomous controllers)")

@@ -32,7 +32,7 @@ def main() -> None:
     # rounds.
     vertex = run_vertex_coloring(partition, seed=1)
     assert_proper_vertex_coloring(graph, vertex.colors, delta + 1)
-    print(f"\n(Δ+1)-vertex coloring  [Theorem 1]")
+    print("\n(Δ+1)-vertex coloring  [Theorem 1]")
     print(f"  bits   : {vertex.total_bits}  ({vertex.total_bits / n:.1f} per vertex)")
     print(f"  rounds : {vertex.rounds}")
     print(f"  colors : {len(set(vertex.colors.values()))} of {delta + 1}")
@@ -43,7 +43,7 @@ def main() -> None:
     # deterministically.
     edge = run_edge_coloring(partition)
     assert_proper_edge_coloring(graph, edge.colors, 2 * delta - 1)
-    print(f"\n(2Δ−1)-edge coloring  [Theorem 2]")
+    print("\n(2Δ−1)-edge coloring  [Theorem 2]")
     print(f"  bits   : {edge.total_bits}  ({edge.total_bits / n:.1f} per vertex)")
     print(f"  rounds : {edge.rounds}")
     print(f"  colors : {len(set(edge.colors.values()))} of {2 * delta - 1}")
@@ -51,7 +51,7 @@ def main() -> None:
     # Theorem 3: one extra color makes the problem free.
     zero = run_zero_comm_edge_coloring(partition)
     assert_proper_edge_coloring(graph, zero.colors, 2 * delta)
-    print(f"\n(2Δ)-edge coloring  [Theorem 3]")
+    print("\n(2Δ)-edge coloring  [Theorem 3]")
     print(f"  bits   : {zero.total_bits}   rounds: {zero.rounds}   (zero communication)")
 
 

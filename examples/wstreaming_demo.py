@@ -61,7 +61,7 @@ def main() -> None:
     )
     merged = {**a_out, **b_out}
     assert_proper_edge_coloring(graph, merged, 2 * delta - 1)
-    print(f"\nstreaming→two-party reduction (Theorem 5 ⇒ Corollary 1.2):")
+    print("\nstreaming→two-party reduction (Theorem 5 ⇒ Corollary 1.2):")
     print(f"  Alice emitted {len(a_out)} edge colors, Bob {len(b_out)}")
     print(f"  one state transfer = {transcript.total_bits} bits "
           f"(exactly the streaming state)")

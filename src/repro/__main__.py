@@ -8,6 +8,18 @@ Subcommands:
     small CI grid; ``--filter`` narrows any grid by name substring;
     ``--backend`` pins or duplicates the graph backend; ``--transport``
     pins the comm transport (lockstep / count / strict, or ``all``).
+    ``--shard k/N`` runs only this machine's stable-hash shard of the
+    grid; ``--reps R`` replicates every scenario under derived rep seeds
+    with mean/stddev/CI aggregation; ``--resume`` replays
+    ``<out>/journal.jsonl`` and runs only the coordinates a crashed or
+    preempted sweep left unfinished.
+
+``merge``
+    Combine per-shard ``sweep.json`` documents into the unsharded
+    document, verifying versions, seeds, and coordinate disjointness —
+    and, with ``--check-complete``, that the union covers the whole
+    grid.  The re-rendered ``sweep.json`` is bit-for-bit identical to
+    what one serial sweep would have written.
 
 ``bench``
     Compare the set-based and bitset graph backends on the shared
@@ -33,12 +45,18 @@ from pathlib import Path
 
 from .analysis.tables import format_table
 from .engine import (
+    Journal,
+    MergeError,
     backend_comparison,
     default_scenarios,
     iter_scenarios,
+    load_shard_document,
+    merge_documents,
+    parse_shard_spec,
     profile_hotspots,
     rand_comparison,
     results_table,
+    shard_scenarios,
     smoke_scenarios,
     sweep,
     transport_comparison,
@@ -96,6 +114,81 @@ def _build_parser() -> argparse.ArgumentParser:
         default="results",
         metavar="DIR",
         help="directory for sweep.json / sweep.md (default: results/)",
+    )
+    sweep_p.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help=(
+            "run only shard K of N (1-based); assignment is a stable hash "
+            "of each scenario name, so shards partition the grid and "
+            "never reshuffle as scenarios are added"
+        ),
+    )
+    sweep_p.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        metavar="R",
+        help=(
+            "replications per scenario under derived rep seeds, with "
+            "mean/stddev/CI aggregation (default: 1 — no replication)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay <out>/journal.jsonl and skip already-completed "
+            "scenarios (default: start fresh and truncate the journal)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--label",
+        default="sweep",
+        metavar="NAME",
+        help="basename of the result documents (default: sweep)",
+    )
+
+    merge_p = sub.add_parser(
+        "merge", help="combine shard sweep.json documents into one"
+    )
+    merge_p.add_argument(
+        "shards",
+        nargs="+",
+        metavar="SHARD",
+        help="shard sweep.json files (or the result dirs containing them)",
+    )
+    merge_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shards were cut from the small CI grid (must match the sweeps)",
+    )
+    merge_p.add_argument("--filter", default=None, metavar="SUBSTR")
+    merge_p.add_argument(
+        "--backend", choices=("set", "bitset", "both"), default=None
+    )
+    merge_p.add_argument(
+        "--transport",
+        choices=_TRANSPORT_CHOICES + ("all",),
+        default="lockstep",
+    )
+    merge_p.add_argument(
+        "--check-complete",
+        action="store_true",
+        help="fail unless the shard union covers the entire scenario grid",
+    )
+    merge_p.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="directory for the merged sweep.json / sweep.md",
+    )
+    merge_p.add_argument(
+        "--label",
+        default="sweep",
+        metavar="NAME",
+        help="basename of the shard and merged documents (default: sweep)",
     )
 
     bench_p = sub.add_parser(
@@ -159,6 +252,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the bench rows to PATH as JSON",
     )
+    bench_p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "with --rand: fail (exit 1) if the end-to-end protocol "
+            "stream-vs-tape speedup drops below X — the CI regression guard"
+        ),
+    )
 
     list_p = sub.add_parser("list-scenarios", help="print scenario names")
     list_p.add_argument("--smoke", action="store_true", help="list the CI grid")
@@ -170,6 +273,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--transport",
         choices=_TRANSPORT_CHOICES + ("all",),
         default="lockstep",
+    )
+    list_p.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="list only shard K of N (same assignment as sweep --shard)",
     )
 
     return parser
@@ -187,17 +296,94 @@ def _select_scenarios(args: argparse.Namespace):
     )
 
 
+def _apply_shard(scenarios, spec: str | None):
+    """Narrow a grid to one ``k/N`` shard; returns ``(scenarios, spec)``."""
+    if spec is None:
+        return scenarios, None
+    index, count = parse_shard_spec(spec)
+    return shard_scenarios(scenarios, index, count), f"{index}/{count}"
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scenarios = _select_scenarios(args)
     if not scenarios:
         print("no scenarios match the filter", file=sys.stderr)
         return 2
-    print(f"running {len(scenarios)} scenarios ...")
-    results = sweep(scenarios, jobs=args.jobs)
+    if args.reps < 1:
+        print(f"error: --reps must be >= 1, got {args.reps}", file=sys.stderr)
+        return 2
+    try:
+        scenarios, shard = _apply_shard(scenarios, args.shard)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    journal = Journal(
+        Path(args.out) / "journal.jsonl", resume=args.resume, reps=args.reps
+    )
+    try:
+        if args.resume:
+            resumed = sum(1 for s in scenarios if s.name in journal.completed)
+            if resumed:
+                print(f"resuming: {resumed} scenarios already journaled")
+        if not scenarios:
+            # An empty shard is a valid (if unlucky) cut of a small grid:
+            # emit an empty document so the merge job still finds N inputs.
+            print(f"shard {shard} holds no scenarios; writing empty document")
+            json_path, md_path = write_results(
+                [], args.out, label=args.label, shard=shard
+            )
+            print(f"wrote {json_path} and {md_path}")
+            return 0
+        label = f" (shard {shard})" if shard else ""
+        print(f"running {len(scenarios)} scenarios{label} ...")
+        results = sweep(
+            scenarios,
+            jobs=args.jobs,
+            progress=lambda msg: print(f"  {msg}", flush=True),
+            reps=args.reps,
+            journal=journal,
+        )
+    finally:
+        journal.close()
     print(results_table(results))
-    json_path, md_path = write_results(results, args.out)
+    json_path, md_path = write_results(
+        results, args.out, label=args.label, shard=shard
+    )
     print(f"\nwrote {json_path} and {md_path}")
     invalid = [r["scenario"] for r in results if not r.get("valid")]
+    if invalid:
+        print(f"INVALID colorings in: {invalid}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    expected = _select_scenarios(args)
+    if not expected:
+        print("no scenarios match the filter", file=sys.stderr)
+        return 2
+    try:
+        documents = [
+            load_shard_document(path, label=args.label) for path in args.shards
+        ]
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read shard document: {exc}", file=sys.stderr)
+        return 2
+    try:
+        merged = merge_documents(
+            documents, expected, check_complete=args.check_complete
+        )
+    except MergeError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 1
+    coverage = f"{len(merged)}/{len(expected)}"
+    print(
+        f"merged {len(documents)} shards: {coverage} coordinates"
+        + (" (complete)" if len(merged) == len(expected) else "")
+    )
+    json_path, md_path = write_results(merged, args.out, label=args.label)
+    print(f"wrote {json_path} and {md_path}")
+    invalid = [r["scenario"] for r in merged if not r.get("valid")]
     if invalid:
         print(f"INVALID colorings in: {invalid}", file=sys.stderr)
         return 1
@@ -218,6 +404,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             "error: --compare-transports, --rand, and --profile are "
             "mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.min_speedup is not None and not args.rand:
+        print(
+            "error: --min-speedup only applies to --rand "
+            "(the stream-vs-tape regression guard)",
             file=sys.stderr,
         )
         return 2
@@ -264,6 +457,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if not all(r.get("stream_coloring_proper") for r in protocol_rows):
             print("stream substrate produced an improper coloring!", file=sys.stderr)
             return 1
+        if args.min_speedup is not None:
+            worst = min(r["speedup"] for r in protocol_rows)
+            if worst < args.min_speedup:
+                print(
+                    f"REGRESSION: protocol stream speedup {worst:.2f}x is "
+                    f"below the {args.min_speedup:.2f}x floor",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"regression guard: protocol speedup {worst:.2f}x >= "
+                f"{args.min_speedup:.2f}x floor"
+            )
         return 0
 
     if args.profile:
@@ -388,7 +594,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    for scenario in _select_scenarios(args):
+    try:
+        scenarios, _ = _apply_shard(_select_scenarios(args), args.shard)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for scenario in scenarios:
         print(scenario.name)
     return 0
 
@@ -398,6 +609,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "list-scenarios":

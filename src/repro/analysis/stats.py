@@ -15,7 +15,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["FitResult", "geometric_decay_rate", "linear_fit", "mean_ci", "r_squared"]
+__all__ = [
+    "FitResult",
+    "geometric_decay_rate",
+    "linear_fit",
+    "mean_ci",
+    "r_squared",
+    "summarize",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +49,30 @@ def mean_ci(values: Sequence[float], confidence: float = 0.95) -> tuple[float, f
     z = _z_quantile(confidence)
     half = z * float(data.std(ddof=1)) / math.sqrt(data.size)
     return mean, half
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Replication summary: mean, sample stddev, 95%-CI half-width, extrema.
+
+    The reduction the sweep engine applies per metric under ``--reps``;
+    deterministic for a given value sequence (fixed-shape numpy
+    reductions), so replicated sweeps stay bit-for-bit mergeable.  The
+    interval is pinned at 95% to match the ``ci95`` key — use
+    :func:`mean_ci` directly for other confidence levels.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one value")
+    mean, half = mean_ci(data, 0.95)
+    std = float(data.std(ddof=1)) if data.size > 1 else 0.0
+    return {
+        "ci95": half,
+        "count": int(data.size),
+        "max": float(data.max()),
+        "mean": mean,
+        "min": float(data.min()),
+        "std": std,
+    }
 
 
 def _z_quantile(confidence: float) -> float:

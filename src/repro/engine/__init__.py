@@ -2,13 +2,16 @@
 
 ``repro.engine`` is the layer between the protocol library and the
 experiment harness: it names every experiment coordinate (graph family ×
-parameters × partition scheme × protocol × graph backend) as a
-:class:`Scenario`, runs batches of them — serially or across a
-``multiprocessing`` pool — with per-scenario seeding and per-process
-workload caching, and emits JSON + markdown result files.  The
-``python -m repro`` CLI and the ``benchmarks/`` experiments are thin
-clients of this module; future scaling work (sharding, async runners, new
-workload families) plugs in here.
+parameters × partition scheme × protocol × graph backend × transport) as
+a :class:`Scenario`, runs batches of them — serially, across a
+``multiprocessing`` pool, or sharded over many machines — with
+per-scenario seeding, per-process workload caching, replication
+(``reps``), and a crash-resumable journal, and emits deterministic JSON +
+markdown result files.  :mod:`repro.engine.sharding` carries the
+distributed pieces: stable-hash shard assignment, the completion journal,
+and the merge/verify step that reassembles shard documents into the
+bit-identical unsharded sweep.  The ``python -m repro`` CLI and the
+``benchmarks/`` experiments are thin clients of this module.
 """
 
 from .bench import (
@@ -19,7 +22,13 @@ from .bench import (
     transport_comparison,
 )
 from .results import results_table, write_results
-from .runner import build_partition, build_workload, run_scenario, sweep
+from .runner import (
+    build_partition,
+    build_workload,
+    run_scenario,
+    run_scenario_reps,
+    sweep,
+)
 from .scenarios import (
     FAMILIES,
     PROTOCOLS,
@@ -28,9 +37,20 @@ from .scenarios import (
     iter_scenarios,
     smoke_scenarios,
 )
+from .sharding import (
+    Journal,
+    MergeError,
+    load_shard_document,
+    merge_documents,
+    parse_shard_spec,
+    shard_index,
+    shard_scenarios,
+)
 
 __all__ = [
     "FAMILIES",
+    "Journal",
+    "MergeError",
     "PROTOCOLS",
     "Scenario",
     "backend_comparison",
@@ -38,11 +58,17 @@ __all__ = [
     "build_workload",
     "default_scenarios",
     "iter_scenarios",
+    "load_shard_document",
     "medium_workload",
+    "merge_documents",
+    "parse_shard_spec",
     "profile_hotspots",
     "rand_comparison",
     "results_table",
     "run_scenario",
+    "run_scenario_reps",
+    "shard_index",
+    "shard_scenarios",
     "smoke_scenarios",
     "sweep",
     "transport_comparison",

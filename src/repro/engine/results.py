@@ -5,6 +5,14 @@ writes them to ``<out>/sweep.json`` (machine-readable, one self-contained
 document with metadata) and ``<out>/sweep.md`` (the human-readable table,
 rendered through :mod:`repro.analysis.tables` so numbers format exactly
 like the benchmark console output).
+
+``sweep.json`` is *canonical*: volatile per-run keys (wall time) are
+stripped from every record, so the document is a pure function of the
+scenario grid and the package version.  That is what lets a serial sweep
+and the merged union of an N-way sharded sweep compare bit for bit —
+the distributed-execution invariant ``repro merge`` relies on.  Wall
+times still appear in the console/markdown tables, where humans read
+them.
 """
 
 from __future__ import annotations
@@ -17,6 +25,10 @@ from .. import __version__
 from ..analysis.tables import format_markdown_table, format_table
 
 __all__ = ["results_table", "write_results"]
+
+#: Per-run noise excluded from canonical documents (mirrors
+#: ``runner.VOLATILE_KEYS``; kept literal here so results stays import-light).
+_VOLATILE_KEYS = ("wall_time_s",)
 
 _COLUMNS = (
     ("scenario", "scenario"),
@@ -43,28 +55,37 @@ def results_table(
     return format_table(headers, rows, title=title)
 
 
+def _canonical(record: dict[str, Any]) -> dict[str, Any]:
+    """The record minus volatile keys — what goes into ``sweep.json``."""
+    return {k: v for k, v in record.items() if k not in _VOLATILE_KEYS}
+
+
 def write_results(
     results: Sequence[dict[str, Any]],
     out_dir: str | Path,
     label: str = "sweep",
+    shard: str | None = None,
 ) -> tuple[Path, Path]:
     """Write ``<label>.json`` and ``<label>.md`` under ``out_dir``.
 
-    Returns the two paths.  The JSON document wraps the records with the
-    package version and headline counts so archived results stay
-    self-describing.
+    Returns the two paths.  The JSON document wraps the canonical records
+    with the package version and headline counts so archived results stay
+    self-describing; ``shard`` (a ``"k/N"`` spec) tags partial documents
+    produced by ``sweep --shard`` so a merge's inputs are identifiable.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     json_path = out / f"{label}.json"
     md_path = out / f"{label}.md"
-    document = {
+    document: dict[str, Any] = {
         "version": __version__,
         "count": len(results),
         "all_valid": all(bool(r.get("valid")) for r in results),
         "transports": sorted({r.get("transport", "lockstep") for r in results}),
-        "results": list(results),
+        "results": [_canonical(r) for r in results],
     }
+    if shard is not None:
+        document["shard"] = shard
     json_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     md_path.write_text(results_table(results, markdown=True) + "\n")
     return json_path, md_path

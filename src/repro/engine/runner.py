@@ -6,7 +6,14 @@ instances are cached per (workload, partition scheme, backend), so a sweep
 over many protocols on the same workload builds it once instead of once
 per scenario.  Each scenario runs on its own stable seed (a hash of its
 name unless pinned), so results are independent of sweep order, filtering,
-and the serial/parallel execution mode.
+sharding, and the serial/parallel execution mode.
+
+Replication (``reps > 1``) runs each scenario under ``rep_seed``-derived
+seeds — independent workload *and* protocol randomness per rep — and
+aggregates the numeric metrics (mean / stddev / 95% CI) through
+:func:`repro.analysis.stats.summarize`.  Wall time stays a volatile
+side-channel: it is summed, never aggregated into the canonical metrics,
+so replicated sweeps remain bit-for-bit reproducible.
 """
 
 from __future__ import annotations
@@ -14,14 +21,22 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from dataclasses import replace
 from functools import lru_cache
 from typing import Any, Callable, Iterable
 
 from ..graphs import EdgePartition, Graph, PARTITIONERS
 from ..rand import derived_random
 from .scenarios import FAMILIES, PROTOCOLS, Scenario
+from .sharding import Journal
 
-__all__ = ["build_partition", "build_workload", "run_scenario", "sweep"]
+__all__ = [
+    "build_partition",
+    "build_workload",
+    "run_scenario",
+    "run_scenario_reps",
+    "sweep",
+]
 
 
 @lru_cache(maxsize=256)
@@ -89,29 +104,117 @@ def run_scenario(scenario: Scenario) -> dict[str, Any]:
     return record
 
 
+#: Keys that vary run to run and must never enter canonical documents or
+#: replication aggregates (results.py strips them from sweep.json).
+VOLATILE_KEYS = ("wall_time_s",)
+
+
+def run_scenario_reps(scenario: Scenario, reps: int = 1) -> dict[str, Any]:
+    """Execute ``reps`` independent replications and aggregate the metrics.
+
+    ``reps == 1`` is exactly :func:`run_scenario`.  Otherwise each rep
+    runs under ``scenario.rep_seed(r)`` — a fresh workload instance and
+    protocol tape per rep — and the record carries every numeric metric
+    as its across-rep mean, with full mean/std/CI summaries under
+    ``"metrics"``.  ``valid`` is the conjunction over reps.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    if reps == 1:
+        return run_scenario(scenario)
+    records = [
+        run_scenario(replace(scenario, seed=scenario.rep_seed(r)))
+        for r in range(reps)
+    ]
+    from ..analysis.stats import summarize  # deferred: numpy only when replicating
+
+    base = records[0]
+    aggregated: dict[str, Any] = {
+        key: value
+        for key, value in base.items()
+        if not isinstance(value, (int, float)) or isinstance(value, bool)
+    }
+    metrics: dict[str, dict[str, float]] = {}
+    for key, value in base.items():
+        if key in VOLATILE_KEYS or key == "seed":
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        values = [r[key] for r in records]
+        if all(v == values[0] for v in values):
+            # Constant across reps (structural coordinates like n, and any
+            # metric the protocol pins): keep the value — and its integer
+            # type — rather than degrading it to a float mean with a
+            # zero-width CI.
+            aggregated[key] = value
+            continue
+        summary = summarize(values)
+        metrics[key] = summary
+        aggregated[key] = summary["mean"]
+    aggregated["seed"] = scenario.effective_seed
+    aggregated["reps"] = reps
+    aggregated["rep_seeds"] = [scenario.rep_seed(r) for r in range(reps)]
+    aggregated["valid"] = all(bool(r.get("valid")) for r in records)
+    aggregated["metrics"] = metrics
+    aggregated["wall_time_s"] = round(sum(r["wall_time_s"] for r in records), 6)
+    return aggregated
+
+
+def _rep_worker(task: tuple[Scenario, int]) -> dict[str, Any]:
+    """Picklable pool entry point for ``imap`` (one (scenario, reps) task)."""
+    scenario, reps = task
+    return run_scenario_reps(scenario, reps)
+
+
 def sweep(
     scenarios: Iterable[Scenario],
     jobs: int | None = None,
     progress: Callable[[str], None] | None = None,
+    reps: int = 1,
+    journal: Journal | None = None,
 ) -> list[dict[str, Any]]:
     """Run scenarios, fanning out over a process pool when ``jobs > 1``.
 
     ``jobs`` defaults to the machine's CPU count.  The serial path is kept
     for single-core machines and debugging (no pickling, real tracebacks).
     Results come back in scenario order regardless of execution mode.
+
+    The pool path streams completions through ``pool.imap_unordered``
+    (explicit chunksize), so ``progress`` fires and ``journal`` grows the
+    moment each scenario finishes — no head-of-line blocking behind a
+    slow scenario, which is what makes mid-sweep crash recovery lose at
+    most the work in flight.  Scenarios already in ``journal.completed``
+    (a ``--resume`` replay) are not re-run; their journaled records fill
+    the result list, which always comes back in scenario order.
     """
     scenario_list = list(scenarios)
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
     if jobs is None:
         jobs = os.cpu_count() or 1
-    if jobs <= 1 or len(scenario_list) <= 1:
-        results = []
-        for scenario in scenario_list:
-            results.append(run_scenario(scenario))
-            if progress is not None:
-                progress(f"done {scenario.name}")
-        return results
-    with multiprocessing.Pool(processes=min(jobs, len(scenario_list))) as pool:
-        results = pool.map(run_scenario, scenario_list)
-    if progress is not None:
-        progress(f"completed {len(results)} scenarios on {jobs} workers")
-    return results
+    results_by_name: dict[str, dict[str, Any]] = (
+        dict(journal.completed) if journal is not None else {}
+    )
+    pending = [s for s in scenario_list if s.name not in results_by_name]
+
+    def record_completion(scenario: Scenario, record: dict[str, Any]) -> None:
+        results_by_name[scenario.name] = record
+        if journal is not None:
+            journal.append(scenario.name, record)
+        if progress is not None:
+            progress(f"done {scenario.name}")
+
+    if jobs <= 1 or len(pending) <= 1:
+        for scenario in pending:
+            record_completion(scenario, run_scenario_reps(scenario, reps))
+    else:
+        workers = min(jobs, len(pending))
+        chunksize = max(1, len(pending) // (workers * 4))
+        tasks = [(scenario, reps) for scenario in pending]
+        by_name = {scenario.name: scenario for scenario in pending}
+        with multiprocessing.Pool(processes=workers) as pool:
+            for record in pool.imap_unordered(
+                _rep_worker, tasks, chunksize=chunksize
+            ):
+                record_completion(by_name[record["scenario"]], record)
+    return [results_by_name[s.name] for s in scenario_list]

@@ -129,6 +129,19 @@ class Scenario:
             return self.seed
         return stable_label_hash(self.workload_key) & 0x7FFFFFFF
 
+    def rep_seed(self, rep: int) -> int:
+        """The seed of replication ``rep`` (0-based) of this scenario.
+
+        Rep 0 is the scenario's own seed, so ``--reps 1`` reproduces an
+        unreplicated sweep bit for bit; later reps derive label-hashed
+        seeds from it.  Like :attr:`effective_seed`, the value depends
+        only on the coordinate — never on sweep composition or execution
+        order — which is what keeps replicated sweeps shardable.
+        """
+        if rep == 0:
+            return self.effective_seed
+        return stable_label_hash(("rep", self.effective_seed, rep)) & 0x7FFFFFFF
+
     def param_dict(self) -> dict[str, Any]:
         """The family parameters as a plain dict."""
         return dict(self.params)

@@ -1,0 +1,257 @@
+"""Distributed sweep execution: shard assignment, journal, merge.
+
+Three pieces turn the single-machine sweep into a fleet-friendly one, all
+resting on PR 3's ``derive``-based per-coordinate seeding (a scenario's
+randomness depends only on its own coordinate, never on sweep
+composition):
+
+* **Shard assignment** — :func:`shard_index` maps a scenario name to a
+  shard through :func:`repro.rand.stable_label_hash`, so a scenario's
+  shard depends only on its own name and the shard count.  Adding or
+  removing scenarios never moves the others (unlike positional
+  round-robin, where one insertion reshuffles every later scenario), and
+  the hash spreads the grid across shards evenly in expectation.
+  ``shard_scenarios(grid, k, n)`` is by construction a partition of the
+  grid: every scenario lands in exactly one of the ``n`` shards.
+
+* **Journal** — :class:`Journal` is an append-only JSONL file
+  (``results/journal.jsonl``) with one record per *completed* scenario.
+  The sweep runner appends after every scenario, so a crashed or
+  preempted sweep resumes (``sweep --resume``) by replaying the journal
+  and running only the missing coordinates.  Entries carry the package
+  version and rep count; stale entries (version or rep mismatch, or a
+  torn final line from a crash mid-write) are ignored on load.
+
+* **Merge** — :func:`merge_documents` combines per-shard ``sweep.json``
+  documents into the records of the equivalent unsharded sweep.  It
+  verifies the shards pairwise-disjoint (duplicate coordinates are an
+  error), drawn from the expected grid (unknown coordinates and seed
+  mismatches are errors), written by this package version, and — with
+  ``check_complete`` — that the union covers the whole grid.  Records
+  come back in grid order, so re-rendering through
+  :func:`repro.engine.write_results` reproduces the serial ``sweep.json``
+  bit for bit.  That identity is the headline invariant of the
+  distributed path and is pinned by ``tests/test_engine_sharding.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence, TYPE_CHECKING
+
+from .. import __version__
+from ..rand import stable_label_hash
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .scenarios import Scenario
+
+__all__ = [
+    "Journal",
+    "MergeError",
+    "load_shard_document",
+    "merge_documents",
+    "parse_shard_spec",
+    "shard_index",
+    "shard_scenarios",
+]
+
+
+# ---------------------------------------------------------------------------
+# shard assignment
+# ---------------------------------------------------------------------------
+
+
+def parse_shard_spec(spec: str) -> tuple[int, int]:
+    """Parse a ``"k/N"`` shard spec into a 1-based ``(index, count)`` pair.
+
+    ``k`` selects one of ``N`` shards, ``1 <= k <= N`` — the CLI syntax of
+    ``sweep --shard 2/3``.
+    """
+    index_s, sep, count_s = spec.partition("/")
+    if not sep:
+        raise ValueError(f"shard spec must look like k/N, got {spec!r}")
+    try:
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(f"shard spec must be two integers k/N, got {spec!r}") from None
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {spec!r}")
+    if not 1 <= index <= count:
+        raise ValueError(f"shard index must be in 1..{count}, got {spec!r}")
+    return index, count
+
+
+def shard_index(name: str, count: int) -> int:
+    """The 0-based shard owning a scenario name, out of ``count`` shards.
+
+    Depends only on ``(name, count)``: growing the grid never reassigns
+    existing scenarios, and every machine computes the same split without
+    coordination.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    return stable_label_hash(("shard", name)) % count
+
+
+def shard_scenarios(
+    scenarios: Iterable["Scenario"], index: int, count: int
+) -> list["Scenario"]:
+    """The scenarios assigned to 1-based shard ``index`` of ``count``.
+
+    Preserves grid order within the shard; the ``count`` shards partition
+    the grid (disjoint, union-complete).
+    """
+    if not 1 <= index <= count:
+        raise ValueError(f"shard index must be in 1..{count}, got {index}")
+    return [s for s in scenarios if shard_index(s.name, count) == index - 1]
+
+
+# ---------------------------------------------------------------------------
+# journal
+# ---------------------------------------------------------------------------
+
+
+class Journal:
+    """Append-only JSONL journal of completed scenario records.
+
+    One line per completed scenario::
+
+        {"record": {...}, "reps": 1, "scenario": "<name>", "version": "1.1.0"}
+
+    ``resume=False`` truncates any existing journal (a fresh sweep);
+    ``resume=True`` replays it first, exposing prior completions through
+    :attr:`completed` so the runner skips them.  Lines from another
+    package version or rep count are stale and ignored, as is a torn
+    line left by a crash mid-append.  A resume *rewrites* the journal
+    with only the surviving entries before appending — a torn tail never
+    becomes an interior corruption that later appends would concatenate
+    onto.  Appends are flushed per record so the journal never trails
+    the sweep by more than the scenario in flight.
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False, reps: int = 1) -> None:
+        self.path = Path(path)
+        self.reps = reps
+        self.completed: dict[str, dict[str, Any]] = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self.completed = self._replay()
+        self._file = self.path.open("w")
+        for name, record in self.completed.items():
+            self._write_entry(name, record)
+        self._file.flush()
+
+    def _replay(self) -> dict[str, Any]:
+        completed: dict[str, dict[str, Any]] = {}
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn by a crash mid-write; later lines may be fine
+            if entry.get("version") != __version__ or entry.get("reps") != self.reps:
+                continue
+            completed[entry["scenario"]] = entry["record"]
+        return completed
+
+    def _write_entry(self, name: str, record: dict[str, Any]) -> None:
+        entry = {
+            "record": record,
+            "reps": self.reps,
+            "scenario": name,
+            "version": __version__,
+        }
+        self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def append(self, name: str, record: dict[str, Any]) -> None:
+        """Record one completed scenario (flushed immediately)."""
+        self._write_entry(name, record)
+        self._file.flush()
+        self.completed[name] = record
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# merge
+# ---------------------------------------------------------------------------
+
+
+class MergeError(ValueError):
+    """A shard union that cannot reproduce the unsharded sweep."""
+
+
+def load_shard_document(path: str | Path, label: str = "sweep") -> dict[str, Any]:
+    """Load one shard's sweep document from a JSON file or a results dir."""
+    p = Path(path)
+    if p.is_dir():
+        p = p / f"{label}.json"
+    return json.loads(p.read_text())
+
+
+def merge_documents(
+    documents: Sequence[dict[str, Any]],
+    expected: Sequence["Scenario"],
+    check_complete: bool = False,
+) -> list[dict[str, Any]]:
+    """Combine shard sweep documents into the unsharded record list.
+
+    ``expected`` is the full scenario grid the shards were cut from (the
+    same selection the shard sweeps ran with, minus ``--shard``).  Raises
+    :class:`MergeError` on a version mismatch, a duplicate or unknown
+    coordinate, a seed that disagrees with the grid's deterministic
+    per-coordinate seed, shards swept under different ``--reps``, or —
+    with ``check_complete`` — a missing coordinate.  Returns the records in grid order, ready for
+    :func:`repro.engine.write_results`.
+    """
+    expected_by_name = {s.name: s for s in expected}
+    seen: dict[str, dict[str, Any]] = {}
+    reps_seen: set[int] = set()
+    for position, document in enumerate(documents):
+        version = document.get("version")
+        if version != __version__:
+            raise MergeError(
+                f"shard {position + 1}: version {version!r} does not match "
+                f"this package ({__version__!r}); re-run the shard sweep"
+            )
+        for record in document.get("results", ()):
+            name = record.get("scenario")
+            if name in seen:
+                raise MergeError(f"duplicate coordinate across shards: {name}")
+            scenario = expected_by_name.get(name)
+            if scenario is None:
+                raise MergeError(
+                    f"shard {position + 1}: coordinate {name!r} is not in "
+                    "the expected scenario grid (selection flags must match "
+                    "the shard sweeps)"
+                )
+            if record.get("seed") != scenario.effective_seed:
+                raise MergeError(
+                    f"seed mismatch for {name}: shard has {record.get('seed')}, "
+                    f"grid derives {scenario.effective_seed}"
+                )
+            seen[name] = record
+            reps_seen.add(int(record.get("reps", 1)))
+    if len(reps_seen) > 1:
+        raise MergeError(
+            f"shards disagree on replication: reps={sorted(reps_seen)} "
+            "(all shard sweeps must use the same --reps)"
+        )
+    if check_complete:
+        missing = [s.name for s in expected if s.name not in seen]
+        if missing:
+            raise MergeError(
+                f"merged shards are missing {len(missing)} of "
+                f"{len(expected)} coordinates: {missing[:5]}"
+                + (" ..." if len(missing) > 5 else "")
+            )
+    return [seen[s.name] for s in expected if s.name in seen]

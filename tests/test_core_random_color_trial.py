@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 
 from repro.comm import PublicRandomness, run_protocol
 from repro.core import paper_iteration_count, random_color_trial_party

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import math
-import random
 
 from repro.core import run_vertex_coloring
 from repro.graphs import (

@@ -3,7 +3,6 @@ differential checks between independent implementations."""
 
 from __future__ import annotations
 
-import random
 
 import pytest
 

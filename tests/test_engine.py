@@ -134,9 +134,9 @@ def test_sweep_parallel_matches_serial():
     serial = sweep(scenarios, jobs=1)
     parallel = sweep(scenarios, jobs=2)
     # wall times differ; everything else must match exactly.
-    strip = lambda rows: [
-        {k: v for k, v in r.items() if k != "wall_time_s"} for r in rows
-    ]
+    def strip(rows):
+        return [{k: v for k, v in r.items() if k != "wall_time_s"} for r in rows]
+
     assert strip(serial) == strip(parallel)
 
 

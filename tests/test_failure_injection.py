@@ -8,7 +8,6 @@ outputs and real schedules and assert the layers fire.
 
 from __future__ import annotations
 
-import random
 
 import pytest
 

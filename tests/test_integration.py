@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 
 from repro.baselines import (
     run_flin_mittal,

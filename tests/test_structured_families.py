@@ -8,7 +8,6 @@ class-one coloring applies.
 
 from __future__ import annotations
 
-import random
 
 from repro.core import (
     run_edge_coloring,
