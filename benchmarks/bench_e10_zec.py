@@ -13,8 +13,8 @@ Three measurements:
 from __future__ import annotations
 
 import math
-import random
 
+from repro.rand import Stream
 from repro.analysis import print_table
 from repro.lowerbound import (
     LEMMA_62_BOUND,
@@ -32,7 +32,7 @@ COPIES = (1, 10, 50, 100, 500)
 
 
 def test_e10_zec_game_value_and_repetition(benchmark):
-    rng = random.Random(10)
+    rng = Stream.from_seed(10).derive_random("zec-bench")
     alice, bob, best = optimize_strategies(rng, restarts=8, iterations=20)
     rand_a, rand_b = random_strategy(rng), random_strategy(rng)
     rand_value = exact_win_probability(rand_a, rand_b)

@@ -13,7 +13,8 @@ the paper's choice is a rounds-robust point.
 from __future__ import annotations
 
 from repro.analysis import mean_ci, print_table
-from repro.comm import PublicRandomness, run_protocol
+from repro.comm import run_protocol
+from repro.rand import Stream
 from repro.core import color_sample_party
 
 PALETTE = 256
@@ -27,8 +28,8 @@ def sample_cost(m: int, k: int, constant: int, seed: int):
     used_a = set(range(1, blocked // 2 + 1))
     used_b = set(range(blocked // 2 + 1, blocked + 1))
     _, _, t = run_protocol(
-        color_sample_party(m, used_a, PublicRandomness(seed), constant),
-        color_sample_party(m, used_b, PublicRandomness(seed), constant),
+        color_sample_party(m, used_a, Stream.from_seed(seed), constant),
+        color_sample_party(m, used_b, Stream.from_seed(seed), constant),
     )
     return t.total_bits, t.rounds
 

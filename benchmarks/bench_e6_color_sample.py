@@ -16,7 +16,8 @@ from __future__ import annotations
 import math
 
 from repro.analysis import mean_ci, print_table
-from repro.comm import PublicRandomness, run_protocol
+from repro.comm import run_protocol
+from repro.rand import Stream
 from repro.core import color_sample_party
 from repro.core.slack import SAMPLING_CONSTANT
 
@@ -31,8 +32,8 @@ def sample_cost(m: int, k: int, seed: int):
     used_a = set(range(1, blocked // 2 + 1))
     used_b = set(range(blocked // 2 + 1, blocked + 1))
     _, _, t = run_protocol(
-        color_sample_party(m, used_a, PublicRandomness(seed)),
-        color_sample_party(m, used_b, PublicRandomness(seed)),
+        color_sample_party(m, used_a, Stream.from_seed(seed)),
+        color_sample_party(m, used_b, Stream.from_seed(seed)),
     )
     return t.total_bits, t.rounds
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 import math
 
 from repro.analysis import geometric_decay_rate, print_table
-from repro.comm import PublicRandomness, run_protocol
+from repro.comm import run_protocol
+from repro.rand import Stream
 from repro.core import random_color_trial_party
 
 from .conftest import regular_workload
@@ -26,10 +27,10 @@ def run_instrumented(seed: int):
     history: list[int] = []
     (colors, active), _, t = run_protocol(
         random_color_trial_party(
-            part.alice_graph, DEGREE + 1, PublicRandomness(seed), None, history
+            part.alice_graph, DEGREE + 1, Stream.from_seed(seed), None, history
         ),
         random_color_trial_party(
-            part.bob_graph, DEGREE + 1, PublicRandomness(seed), None
+            part.bob_graph, DEGREE + 1, Stream.from_seed(seed), None
         ),
     )
     return history, len(active), t

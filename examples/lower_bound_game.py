@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import random
 
+from repro.rand import Stream
 from repro.core import run_vertex_coloring
 from repro.lowerbound import (
     LEMMA_62_BOUND,
@@ -83,7 +84,7 @@ def act_three_gadget(rng: random.Random):
 
 
 def main() -> None:
-    rng = random.Random(6)
+    rng = Stream.from_seed(6).derive_random("lower-bound-game")
     alice, bob, best = act_one_zec(rng)
     act_two_repetition(alice, bob, best)
     act_three_gadget(rng)

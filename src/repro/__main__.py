@@ -258,8 +258,10 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="X",
         help=(
-            "with --rand: fail (exit 1) if the end-to-end protocol "
-            "stream-vs-tape speedup drops below X — the CI regression guard"
+            "fail (exit 1) if the guarded end-to-end speedup drops below "
+            "X: with --rand the protocol stream-vs-tape speedup, with "
+            "--compare-transports the Theorem 1 pooled-count-vs-"
+            "pre-pooling-baseline speedup — the CI regression guards"
         ),
     )
 
@@ -407,10 +409,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.min_speedup is not None and not args.rand:
+    if args.min_speedup is not None and not (args.rand or args.compare_transports):
         print(
-            "error: --min-speedup only applies to --rand "
-            "(the stream-vs-tape regression guard)",
+            "error: --min-speedup only applies to --rand or "
+            "--compare-transports (the perf regression guards)",
             file=sys.stderr,
         )
         return 2
@@ -532,6 +534,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ]
             for r in rows
         ]
+        baseline = next((r for r in rows if "legacy_s" in r), None)
+        if baseline is not None:
+            table_rows.append(
+                [
+                    "vertex (thm 1) pooled vs pre-pooling baseline",
+                    f"{baseline['legacy_s'] * 1e3:.3f}",
+                    f"{baseline['count_s'] * 1e3:.3f}",
+                    "-",
+                    f"{baseline['pooled_speedup']:.2f}x",
+                    "yes" if baseline["legacy_transcript_equal"] else "NO",
+                ]
+            )
         print(
             format_table(
                 [
@@ -554,6 +568,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if not all(r["transcripts_equal"] for r in rows):
             print("transports produced different transcripts!", file=sys.stderr)
             return 1
+        if baseline is not None and not baseline["legacy_transcript_equal"]:
+            print(
+                "pre-pooling baseline produced a different transcript!",
+                file=sys.stderr,
+            )
+            return 1
+        if args.min_speedup is not None:
+            if baseline is None:
+                print(
+                    "error: no Theorem 1 baseline row to guard", file=sys.stderr
+                )
+                return 2
+            speedup = baseline["pooled_speedup"]
+            if speedup < args.min_speedup:
+                print(
+                    f"REGRESSION: pooled count path speedup {speedup:.2f}x is "
+                    f"below the {args.min_speedup:.2f}x floor (vs the frozen "
+                    "pre-pooling lockstep baseline)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"regression guard: pooled speedup {speedup:.2f}x >= "
+                f"{args.min_speedup:.2f}x floor"
+            )
         return 0
 
     degree = args.degree if args.degree is not None else 8

@@ -13,8 +13,8 @@ fast path for large sweeps), and ``strict`` (every payload encoded through
 the codecs, declared sizes verified on every message).
 
 The randomness substrate itself lives in :mod:`repro.rand` (counter-based
-splittable streams); ``repro.comm.randomness`` re-exports the deprecated
-``PublicRandomness`` shim over it.
+splittable streams); ``repro.comm.randomness`` keeps only the model-level
+Newman's-theorem accounting on top of it.
 """
 
 from .codecs import (
@@ -43,7 +43,7 @@ from .bits import (
 from .ledger import PhaseStats, Transcript
 from .messages import BatchMsg, Msg
 from .parallel import compose_parallel
-from .randomness import PublicRandomness, newman_overhead_bits, split_rng
+from .randomness import newman_overhead_bits
 from .transport import (
     TRANSPORTS,
     Channel,
@@ -68,7 +68,6 @@ __all__ = [
     "Msg",
     "PhaseStats",
     "ProtocolDesyncError",
-    "PublicRandomness",
     "StrictTransport",
     "TRANSPORTS",
     "Transcript",
@@ -91,7 +90,6 @@ __all__ = [
     "newman_overhead_bits",
     "resolve_transport",
     "run_protocol",
-    "split_rng",
     "uint_cost",
     "uint_width",
     "verify_declared_cost",

@@ -9,6 +9,8 @@ sparsification, gather, ...).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
@@ -159,6 +161,36 @@ class Transcript:
         self.messages += messages
         if phases or self._active_phases:
             self._attribute(bits_a_to_b, bits_b_to_a, rounds, phases)
+
+    def canonical(self, with_log: bool = False) -> bytes:
+        """A canonical byte serialization of the transcript's contents.
+
+        Covers the headline aggregates and the per-phase breakdown (sorted
+        by phase name, so accumulation order does not matter); with
+        ``with_log=True`` the full per-round log is appended too.  Two
+        transcripts serialize identically iff every recorded quantity
+        matches — the raw material for golden-digest tests.
+        """
+        doc: dict = {
+            "summary": self.summary(),
+            "phases": sorted(
+                (name, s.bits_alice_to_bob, s.bits_bob_to_alice, s.rounds)
+                for name, s in self._phases.items()
+            ),
+        }
+        if with_log:
+            doc["round_log"] = [list(pair) for pair in self.round_log]
+        return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+    def fingerprint(self, with_log: bool = False) -> str:
+        """sha256 hex digest of :meth:`canonical`.
+
+        Without the log this is transport-invariant (the parity contract:
+        lockstep, count, and strict must all produce it bit-for-bit); with
+        the log it additionally pins the round-by-round schedule, which
+        only log-keeping transports can reproduce.
+        """
+        return hashlib.sha256(self.canonical(with_log=with_log)).hexdigest()
 
     def summary(self) -> dict[str, int]:
         """Headline numbers as a plain dict (for tables and logs)."""

@@ -5,6 +5,14 @@ Declared sizes must come from the cost helpers in :mod:`repro.comm.bits`, so
 that they correspond to a concrete encoding.  ``Msg.empty()`` is the silent
 message a party sends in a round where it has nothing to say.
 
+Messages are immutable value objects (``frozen=True, slots=True``), which
+makes them safe to *intern*: the hot protocol loops send huge numbers of
+silent messages and tiny integer payloads, so :func:`intern_msg` serves
+those from preallocated shared instances instead of allocating a fresh
+``Msg`` per send.  Interning is safe precisely because a ``Msg`` can never
+be mutated after construction — two sends may alias the same object without
+either observing the other.
+
 :class:`BatchMsg` groups per-sub-protocol messages when many sub-protocols
 (e.g. one per vertex) share communication rounds; its size is the sum of the
 sub-messages.  No addressing overhead is charged: the schedule of
@@ -17,10 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["BatchMsg", "Msg"]
+__all__ = ["BatchMsg", "EMPTY_MSG", "Msg", "intern_msg"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Msg:
     """A single protocol message with a declared bit cost."""
 
@@ -47,7 +55,7 @@ class Msg:
         return self.nbits == 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchMsg:
     """A bundle of sub-protocol messages sharing one communication round."""
 
@@ -63,5 +71,44 @@ class BatchMsg:
         return self.parts.get(key, EMPTY_MSG)
 
 
+# -- interning --------------------------------------------------------------
+#
+# The two message shapes that dominate every protocol in the repo are
+# "silence" (payload None, small declared size — binary-search probes, recv
+# rounds, padding) and "small unsigned int" (slack counts, confirmations).
+# Both tables are built once at import; intern_msg is a couple of integer
+# comparisons before a tuple index, versus a full dataclass construction.
+
+_SILENT_LIMIT = 128
+_INT_BITS_LIMIT = 16
+_INT_VALUE_LIMIT = 64
+
+_SILENT: tuple[Msg, ...] = tuple(Msg(b) for b in range(_SILENT_LIMIT))
+_INT_MSGS: tuple[tuple[Msg, ...], ...] = tuple(
+    tuple(Msg(b, v) for v in range(_INT_VALUE_LIMIT + 1))
+    for b in range(_INT_BITS_LIMIT + 1)
+)
+
+
+def intern_msg(nbits: int, payload: Any = None) -> Msg:
+    """A ``Msg(nbits, payload)``, shared from the intern tables when small.
+
+    Semantically identical to constructing the message directly (``Msg`` is
+    frozen, so aliasing is unobservable); callers must simply never rely on
+    object identity of the result.  Out-of-range shapes fall back to a
+    fresh ``Msg`` (which also performs the ``nbits >= 0`` validation).
+    """
+    if payload is None:
+        if 0 <= nbits < _SILENT_LIMIT:
+            return _SILENT[nbits]
+    elif (
+        type(payload) is int
+        and 0 <= nbits <= _INT_BITS_LIMIT
+        and 0 <= payload <= _INT_VALUE_LIMIT
+    ):
+        return _INT_MSGS[nbits][payload]
+    return Msg(nbits, payload)
+
+
 #: The shared zero-bit message returned by :meth:`Msg.empty`.
-EMPTY_MSG = Msg(0, None)
+EMPTY_MSG = _SILENT[0]

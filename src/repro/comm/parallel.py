@@ -67,7 +67,9 @@ def compose_parallel(subprotocols: Mapping[Hashable, PartyGen]) -> BatchGen:
             outgoing[key] = msg
 
     while live:
-        incoming = yield BatchMsg(dict(outgoing))
+        # `outgoing` is rebound to a fresh dict below, so the batch can own
+        # this one outright — no defensive per-round copy.
+        incoming = yield BatchMsg(outgoing)
         if not isinstance(incoming, BatchMsg):
             raise TypeError(
                 f"parallel composition expects BatchMsg from peer, got {type(incoming).__name__}"

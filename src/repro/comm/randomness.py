@@ -1,134 +1,23 @@
-"""Deprecated compatibility shim — the randomness layer lives in
-:mod:`repro.rand` now.
+"""Public-vs-private randomness accounting for the two-party model.
 
-The paper's protocols assume public randomness (Section 3.1): both
-parties observe the same random tape.  That tape is now a
-counter-based splittable :class:`repro.rand.Stream`; this module keeps
-the historical names working:
+The paper's protocols assume public randomness (Section 3.1): both parties
+observe the same random tape.  That tape is :class:`repro.rand.Stream` — a
+counter-based splittable stream; private per-party randomness comes from
+:meth:`repro.rand.Stream.derive_random`.  (The deprecated
+``PublicRandomness``/``split_rng`` compatibility shim that used to live
+here is gone; every call site speaks :mod:`repro.rand` directly.)
 
-* :class:`PublicRandomness` — the old tape class, now a thin
-  :class:`~repro.rand.Stream` subclass.  ``spawn`` is an alias for
-  ``derive`` and therefore **no longer consumes parent tape state**:
-  sibling spawns used to depend on call order (the parent's
-  ``getrandbits`` advanced per spawn); they are independent now.
-  Draw values differ from the old ``random.Random`` tape — the test
-  suite pins invariants (parity, proper colorings) plus golden digests
-  of the *new* streams, so nothing needed re-pinning at the migration.
-  ``seed=None`` still entropy-seeds, as the old tape did.
-* :func:`split_rng` — the old stateful private-stream splitter,
-  unchanged for callers that still hold a ``random.Random``.  New code
-  should use :meth:`repro.rand.Stream.derive_random`, which is
-  order-independent.
-
-``Newman's theorem`` [New91] lets public randomness be replaced by
-private randomness at an additive ``O(log n + log(1/δ))`` communication
-cost; :func:`newman_overhead_bits` reports that surcharge so experiments
-can quote private-coin costs too.
+What remains is the model-level accounting: **Newman's theorem** [New91]
+lets public randomness be replaced by private randomness at an additive
+``O(log n + log(1/δ))`` communication cost; :func:`newman_overhead_bits`
+reports that surcharge so experiments can quote private-coin costs too.
 """
 
 from __future__ import annotations
 
 import math
-import random
 
-from ..rand import Label, Stream, stable_label_hash
-
-__all__ = ["PublicRandomness", "newman_overhead_bits", "split_rng"]
-
-
-class _PermList(list):
-    """A materialized permutation that also satisfies the lazy-perm API.
-
-    Old callers treat it as the plain list the old API returned; migrated
-    protocols handed a :class:`PublicRandomness` still get ``index_of`` /
-    ``materialize``.  The inverse table is built once on first use, like
-    the old color-sample call sites did.
-    """
-
-    _inverse: dict[int, int] | None = None
-
-    def index_of(self, x: int) -> int:
-        inverse = self._inverse
-        if inverse is None:
-            inverse = {y: i for i, y in enumerate(self)}
-            self._inverse = inverse
-        return inverse[x]
-
-    def materialize(self) -> list[int]:
-        return list(self)
-
-
-class PublicRandomness(Stream):
-    """Deprecated: the shared public tape, now backed by :class:`Stream`.
-
-    Kept so existing call sites (``PublicRandomness(seed)`` plus the
-    ``coin`` / ``permutation`` / ``sample_mask`` / ``spawn`` vocabulary)
-    keep working.  ``permutation`` still returns a plain list for old
-    callers; protocols migrated to :class:`Stream` get lazy permutations
-    instead.  ``draws`` counts old-API draw operations, as before.
-    """
-
-    __slots__ = ("draws",)
-
-    def __init__(self, seed: int | None = 0) -> None:
-        # from_seed handles None by entropy-seeding, like random.Random.
-        super().__init__(Stream.from_seed(seed).key)
-        self.draws = 0
-
-    def coin(self, p: float = 0.5) -> bool:
-        self.draws += 1
-        return super().coin(p)
-
-    def uniform_int(self, low: int, high: int) -> int:
-        self.draws += 1
-        return super().uniform_int(low, high)
-
-    def permutation(self, m: int) -> list[int]:  # type: ignore[override]
-        """Old API: the permutation as a materialized list.
-
-        Keyed by one stream word but shuffled with the stdlib's C
-        Fisher–Yates — a full list is being built regardless, so the old
-        cost model is the right one here (cycle-walking every position
-        of a lazy permutation would be strictly slower).
-        """
-        self.draws += 1
-        table = list(range(m))
-        random.Random(self.next64()).shuffle(table)
-        return _PermList(table)
-
-    def sample_mask(self, m: int, p: float) -> list[bool]:
-        self.draws += 1
-        return super().sample_mask(m, p)
-
-    def choice(self, items):
-        self.draws += 1
-        return super().choice(items)
-
-    def shuffled(self, items):
-        self.draws += 1
-        return super().shuffled(items)
-
-    def spawn(self, label: Label) -> "PublicRandomness":
-        """Derive an independent public tape for a labelled sub-protocol.
-
-        Now pure: sibling spawns are identical regardless of call order,
-        and spawning never advances the parent tape (the old
-        implementation consumed ``getrandbits`` per spawn).
-        """
-        self.draws += 1
-        child = PublicRandomness(0)
-        child.key = self.derive(label).key
-        return child
-
-
-def split_rng(rng: random.Random, label: str) -> random.Random:
-    """Deprecated: derive a private RNG for a labelled subtask.
-
-    Consumes ``rng`` state, so it is order-dependent; prefer
-    :meth:`repro.rand.Stream.derive_random`.
-    """
-    seed = rng.getrandbits(64) ^ stable_label_hash(label)
-    return random.Random(seed)
+__all__ = ["newman_overhead_bits"]
 
 
 def newman_overhead_bits(n: int, delta: float = 0.01) -> int:

@@ -16,8 +16,10 @@ knowledge (i).  Expected cost is ``O(log²((Δ+1)/k))`` bits over
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Set
 
+from ..comm.bits import uint_cost
 from ..comm.transport import Channel, as_party
 from ..rand import Stream
 from .slack import SAMPLING_CONSTANT, randomized_slack_proto
@@ -59,6 +61,45 @@ def color_sample_proto(
     own_positions = {perm.index_of(c - 1) for c in own_used}
 
     constant = SAMPLING_CONSTANT if sampling_constant is None else sampling_constant
+    if constant >= num_colors:
+        # Saturated fast path: Algorithm 3's very first guess k̃ = m has
+        # p = min(1, C·m/m²) = 1, so the sample is the whole ground range
+        # (drawn without touching the tape) and every later guess only
+        # saturates harder.  The entire run — the count exchange plus the
+        # Lemma A.1 bisection — is inlined into this single generator
+        # frame: the per-round resume otherwise traverses the
+        # color-sample → Algorithm-3 → binary-search yield-from chain,
+        # which is the dominant simulation cost of the coloring protocols
+        # (every (Δ+1)-coloring instance has m = Δ+1 ≤ C).  The sends are
+        # bit-for-bit those of :func:`randomized_slack_proto`.
+        m = num_colors
+        post = ch.post
+        unwrap = ch.unwrap
+        own_count = len(own_positions)  # positions always lie in [0, m)
+        width = uint_cost(m)
+        k_tilde = m
+        while True:
+            peer_count = unwrap((yield post(width, own_count)))
+            if own_count + peer_count < m:
+                break
+            if k_tilde == 1:
+                raise RuntimeError(
+                    "Algorithm 3 exhausted its guesses; the k-Slack-Int "
+                    "precondition |X|+|Y| <= m-1 must have been violated"
+                )
+            k_tilde //= 2
+        own_pos = sorted(own_positions)
+        lo, hi = 0, m
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            own_left = bisect_left(own_pos, mid) - bisect_left(own_pos, lo)
+            peer_left = unwrap((yield post((mid - lo).bit_length(), own_left)))
+            if (mid - lo) - own_left - peer_left >= 1:
+                hi = mid
+            else:
+                lo = mid
+        return perm[lo] + 1
+
     position = yield from randomized_slack_proto(
         ch, num_colors, own_positions, pub, constant=constant
     )

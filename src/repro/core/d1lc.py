@@ -123,9 +123,12 @@ def d1lc_proto(
         own_complement = palette - set(own_lists[v])
         v_base = pub.derive("d1lc", v)
         for j in range(ell):
+            # Spec tuple: ch.parallel calls color_sample_proto(sub, ...).
             samplers[(v, j)] = (
-                lambda sub, used=own_complement, tape=v_base.derive(j):
-                color_sample_proto(sub, m, used, tape)
+                color_sample_proto,
+                m,
+                own_complement,
+                v_base.derive(j),
             )
     draws = yield from ch.parallel(samplers)
     sampled: dict[int, set[int]] = {v: set() for v in active}

@@ -80,14 +80,18 @@ def random_color_trial_proto(
         if not awake:
             continue
 
+        # Spec tuples, not one closure per vertex: ch.parallel invokes
+        # (proto, args...) as proto(sub, *args) directly.
         iter_base = pub.derive("rct", iteration)
-        samplers = {}
-        for v in awake:
-            own_used = own_graph.neighbor_colors(v, colors)
-            samplers[v] = (
-                lambda sub, used=own_used, tape=iter_base.derive(v):
-                color_sample_proto(sub, num_colors, used, tape)
+        samplers = {
+            v: (
+                color_sample_proto,
+                num_colors,
+                own_graph.neighbor_colors(v, colors),
+                iter_base.derive(v),
             )
+            for v in awake
+        }
         chosen: dict[int, int] = yield from ch.parallel(samplers)
 
         # One confirmation bit per awake vertex: "no conflict on my side".

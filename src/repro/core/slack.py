@@ -63,9 +63,13 @@ def slack_find_proto(
         own_pos = sorted(e for e in own if 0 <= e < hi)
     else:
         own_pos = sorted(i for i, e in enumerate(ground) if e in own)
+    # The bisection loop is the hottest send site in the repo, so it speaks
+    # the raw post/unwrap idiom: no delegate generator per probe.
+    post = ch.post
+    unwrap = ch.unwrap
     if own_count is None or peer_count is None:
         own_count = len(own_pos)
-        peer_count = yield from ch.send(uint_cost(len(ground)), own_count)
+        peer_count = unwrap((yield post(uint_cost(len(ground)), own_count)))
     slack = (hi - lo) - own_count - peer_count
     if slack < 1:
         raise ValueError("no guaranteed free element: |I| - a - b < 1")
@@ -75,7 +79,7 @@ def slack_find_proto(
         own_left = bisect_left(own_pos, mid) - bisect_left(own_pos, lo)
         # (mid - lo).bit_length() == uint_cost(mid - lo) for positive widths;
         # inlined because this is the hottest declared-cost site in the repo.
-        peer_left = yield from ch.send((mid - lo).bit_length(), own_left)
+        peer_left = unwrap((yield post((mid - lo).bit_length(), own_left)))
         left_slack = (mid - lo) - own_left - peer_left
         if left_slack >= 1:
             hi = mid
@@ -136,7 +140,13 @@ def randomized_slack_proto(
     if constant < 1:
         raise ValueError(f"sampling constant must be >= 1, got {constant}")
     own_in_range = -1  # computed once, on the first saturated guess
-    for k_tilde in guess_schedule(m):
+    post = ch.post
+    unwrap = ch.unwrap
+    # Walk guess_schedule(m) lazily: the common case (m <= C, immediately
+    # saturated) resolves on the first guess, so materializing the whole
+    # exponential schedule per invocation is pure allocation churn.
+    k_tilde = m
+    while True:
         # At saturation (p >= 1 — immediately, when m <= C) streams
         # answer with the plain ground ``range`` in O(1): no masks, no
         # draws — both parties skip identically, keeping lockstep — and
@@ -148,12 +158,15 @@ def randomized_slack_proto(
             own_count = own_in_range
         else:
             own_count = sum(1 for i in sample if i in own)
-        peer_count = yield from ch.send(uint_cost(len(sample)), own_count)
+        peer_count = unwrap((yield post(uint_cost(len(sample)), own_count)))
         if own_count + peer_count < len(sample):
             result = yield from slack_find_proto(
                 ch, sample, own, own_count=own_count, peer_count=peer_count
             )
             return result
+        if k_tilde == 1:
+            break
+        k_tilde //= 2
     raise RuntimeError(
         "Algorithm 3 exhausted its guesses; the k-Slack-Int precondition "
         "|X|+|Y| <= m-1 must have been violated"

@@ -152,12 +152,26 @@ def run_vertex_coloring(
     rng_alice = Stream.from_seed(seed).derive_random("alice-private")
     rng_bob = Stream.from_seed(seed).derive_random("bob-private")
 
+    # Spec tuples, matching ch.parallel's vocabulary: the transport calls
+    # vertex_coloring_proto(ch, ...) directly, no per-run closures.
     (a_colors, a_leftover), (b_colors, b_leftover), _ = core.run(
-        lambda ch: vertex_coloring_proto(
-            ch, "alice", partition.alice_graph, num_colors, pub_alice, rng_alice, cap
+        (
+            vertex_coloring_proto,
+            "alice",
+            partition.alice_graph,
+            num_colors,
+            pub_alice,
+            rng_alice,
+            cap,
         ),
-        lambda ch: vertex_coloring_proto(
-            ch, "bob", partition.bob_graph, num_colors, pub_bob, rng_bob, cap
+        (
+            vertex_coloring_proto,
+            "bob",
+            partition.bob_graph,
+            num_colors,
+            pub_bob,
+            rng_bob,
+            cap,
         ),
         transcript,
     )

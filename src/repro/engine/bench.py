@@ -318,8 +318,17 @@ def transport_comparison(
     the count transport's skipped ``Msg``/round-log work is most of the
     wall time; the Theorem 1/2 rows spend most of their time in protocol
     computation shared by every transport, so their speedups are smaller.
+
+    The Theorem 1 row additionally times
+    :func:`repro.engine._legacy_thm1.run_vertex_coloring_legacy` — the
+    frozen pre-pooling comm machinery on the same workload — and reports
+    ``legacy_s``, ``pooled_speedup`` (legacy lockstep vs pooled count) and
+    ``legacy_transcript_equal``.  That before/after pair is what the CI
+    regression guard (``--compare-transports --min-speedup``) watches,
+    mirroring the ``--rand`` guard's tape-vs-stream role.
     """
     from ..baselines import run_flin_mittal, run_greedy_binary_search
+    from ._legacy_thm1 import run_vertex_coloring_legacy
 
     part = medium_workload(n, d, seed)
 
@@ -352,23 +361,36 @@ def transport_comparison(
             times[transport] = _time(timed, repeat)
             summaries[transport] = last[0].transcript.summary()
         reference = summaries["lockstep"]
-        rows.append(
-            {
-                "protocol": name,
-                "n": n,
-                "d": d,
-                "seed": seed,
-                **{f"{t}_s": times[t] for t in TRANSPORTS},
-                "count_speedup": (
-                    times["lockstep"] / times["count"]
-                    if times["count"] > 0
-                    else float("inf")
-                ),
-                "total_bits": reference["total_bits"],
-                "rounds": reference["rounds"],
-                "transcripts_equal": all(
-                    summary == reference for summary in summaries.values()
-                ),
-            }
-        )
+        row = {
+            "protocol": name,
+            "n": n,
+            "d": d,
+            "seed": seed,
+            **{f"{t}_s": times[t] for t in TRANSPORTS},
+            "count_speedup": (
+                times["lockstep"] / times["count"]
+                if times["count"] > 0
+                else float("inf")
+            ),
+            "total_bits": reference["total_bits"],
+            "rounds": reference["rounds"],
+            "transcripts_equal": all(
+                summary == reference for summary in summaries.values()
+            ),
+        }
+        if name == "vertex (thm 1)":
+            legacy: list[Any] = []
+
+            def timed_legacy(sink=legacy):
+                sink[:] = [run_vertex_coloring_legacy(part, seed=seed)]
+
+            legacy_s = _time(timed_legacy, repeat)
+            row["legacy_s"] = legacy_s
+            row["pooled_speedup"] = (
+                legacy_s / times["count"] if times["count"] > 0 else float("inf")
+            )
+            row["legacy_transcript_equal"] = (
+                legacy[0].transcript.summary() == reference
+            )
+        rows.append(row)
     return rows

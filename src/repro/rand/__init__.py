@@ -15,8 +15,8 @@ The randomness substrate under every protocol in the library:
 * :class:`LegacyTape` — the old ``random.Random`` tape behind the new
   API, kept solely as the baseline for ``python -m repro bench --rand``.
 
-``repro.comm.randomness`` re-exports a deprecated compatibility shim
-(``PublicRandomness``) over :class:`Stream` for older call sites.
+Every call site in the library speaks this API directly (the deprecated
+``PublicRandomness`` compatibility shim has been retired).
 """
 
 from .core import Label, Stream, derived_random, mix64, stable_label_hash

@@ -1,162 +1,30 @@
-"""Tests for the deprecated ``repro.comm.randomness`` shim.
+"""Tests for ``repro.comm.randomness`` — Newman's-theorem accounting.
 
-The shared-tape contract tests are kept verbatim: the shim must honor the
-old ``PublicRandomness`` vocabulary (now over ``repro.rand`` streams).
-The spawn order-independence class is the regression test for the bug the
-migration fixed — spawn used to consume parent tape state, making sibling
-sub-protocol tapes depend on spawn call order.
+The deprecated ``PublicRandomness``/``split_rng`` shim is retired: the
+shared-tape contract (equal seeds → identical draws, label-derived
+independence, spawn order-independence) is covered by the ``repro.rand``
+suite (``tests/test_rand_core.py``), which tests the real substrate
+directly.  These tests pin what this module still owns: the retirement
+itself, plus the [New91] public→private overhead accounting.
 """
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
-from repro.comm.randomness import PublicRandomness, newman_overhead_bits, split_rng
-from repro.rand import Stream
+from repro.comm.randomness import newman_overhead_bits
 
 
-class TestSharedTapeContract:
-    """Two instances with the same seed must produce identical draws —
-    the property every protocol in the library relies on."""
+def test_shim_is_gone():
+    """The migration is finished: the old names must not quietly return."""
+    import repro.comm as comm
+    import repro.comm.randomness as randomness
 
-    def test_coins_agree(self):
-        a, b = PublicRandomness(7), PublicRandomness(7)
-        assert [a.coin() for _ in range(100)] == [b.coin() for _ in range(100)]
-
-    def test_permutations_agree(self):
-        a, b = PublicRandomness(7), PublicRandomness(7)
-        for m in (1, 2, 5, 33):
-            assert a.permutation(m) == b.permutation(m)
-
-    def test_masks_agree(self):
-        a, b = PublicRandomness(3), PublicRandomness(3)
-        assert a.sample_mask(50, 0.3) == b.sample_mask(50, 0.3)
-
-    def test_spawn_agrees_and_diverges_by_label(self):
-        a, b = PublicRandomness(1), PublicRandomness(1)
-        child_a = a.spawn("phase-1")
-        child_b = b.spawn("phase-1")
-        assert [child_a.coin() for _ in range(20)] == [
-            child_b.coin() for _ in range(20)
-        ]
-        other = PublicRandomness(1).spawn("phase-2")
-        assert [other.coin() for _ in range(20)] != [
-            PublicRandomness(1).spawn("phase-1").coin() for _ in range(20)
-        ]
-
-    def test_different_seeds_diverge(self):
-        a, b = PublicRandomness(1), PublicRandomness(2)
-        assert [a.coin() for _ in range(50)] != [b.coin() for _ in range(50)]
-
-
-class TestSpawnOrderIndependence:
-    """Regression: spawn used to consume parent state (``getrandbits``),
-    so sibling spawns depended on call order.  It is pure now."""
-
-    def test_sibling_spawn_order_does_not_matter(self):
-        p1, p2 = PublicRandomness(6), PublicRandomness(6)
-        x1, y1 = p1.spawn("x"), p1.spawn("y")
-        y2, x2 = p2.spawn("y"), p2.spawn("x")
-        assert [x1.coin() for _ in range(20)] == [x2.coin() for _ in range(20)]
-        assert [y1.coin() for _ in range(20)] == [y2.coin() for _ in range(20)]
-
-    def test_spawn_does_not_consume_parent_tape(self):
-        a, b = PublicRandomness(6), PublicRandomness(6)
-        a.spawn("child")
-        a.spawn("other")
-        assert [a.coin() for _ in range(20)] == [b.coin() for _ in range(20)]
-
-    def test_spawn_after_draws_is_stable(self):
-        p = PublicRandomness(6)
-        before = p.spawn("child")
-        p.coin()
-        p.permutation(5)
-        after = p.spawn("child")
-        assert [before.coin() for _ in range(10)] == [
-            after.coin() for _ in range(10)
-        ]
-
-
-class TestShimInterop:
-    """The shim must satisfy both the old and the new API surfaces."""
-
-    def test_is_a_stream(self):
-        assert isinstance(PublicRandomness(0), Stream)
-
-    def test_matches_stream_draws(self):
-        pub, stream = PublicRandomness(12), Stream.from_seed(12)
-        assert [pub.coin() for _ in range(32)] == [
-            stream.coin() for _ in range(32)
-        ]
-
-    def test_permutation_is_a_list_with_lazy_perm_api(self):
-        perm = PublicRandomness(0).permutation(12)
-        assert isinstance(perm, list)
-        assert sorted(perm) == list(range(12))
-        # Migrated protocols handed a PublicRandomness still work:
-        assert perm[perm.index_of(5)] == 5
-        assert perm.materialize() == list(perm)
-
-    def test_new_api_available_through_shim(self):
-        pub = PublicRandomness(3)
-        assert len(pub.coins(10, 0.5)) == 10
-        assert list(pub.sample_indices(5, 1.0)) == [0, 1, 2, 3, 4]
-        child = pub.derive("sub")
-        assert isinstance(child, Stream)
-
-
-class TestDrawSemantics:
-    def test_permutation_is_a_permutation(self):
-        pub = PublicRandomness(0)
-        perm = pub.permutation(40)
-        assert sorted(perm) == list(range(40))
-
-    def test_mask_extremes(self):
-        pub = PublicRandomness(0)
-        assert pub.sample_mask(10, 1.0) == [True] * 10
-        assert pub.sample_mask(10, 0.0) == [False] * 10
-
-    def test_mask_probability_ballpark(self):
-        pub = PublicRandomness(0)
-        hits = sum(pub.sample_mask(10_000, 0.25))
-        assert 2200 < hits < 2800
-
-    def test_uniform_int_range(self):
-        pub = PublicRandomness(0)
-        values = {pub.uniform_int(3, 6) for _ in range(200)}
-        assert values == {3, 4, 5, 6}
-
-    def test_shuffled_leaves_original(self):
-        pub = PublicRandomness(0)
-        items = [1, 2, 3, 4, 5]
-        out = pub.shuffled(items)
-        assert sorted(out) == items
-        assert items == [1, 2, 3, 4, 5]
-
-    def test_coin_bias(self):
-        pub = PublicRandomness(0)
-        heads = sum(pub.coin(0.9) for _ in range(2000))
-        assert heads > 1600
-
-    def test_draws_counter(self):
-        pub = PublicRandomness(0)
-        pub.coin()
-        pub.permutation(3)
-        assert pub.draws == 2
-
-
-class TestPrivateRandomness:
-    def test_split_is_deterministic(self):
-        a = split_rng(random.Random(5), "x")
-        b = split_rng(random.Random(5), "x")
-        assert a.random() == b.random()
-
-    def test_split_differs_by_label(self):
-        a = split_rng(random.Random(5), "x")
-        b = split_rng(random.Random(5), "y")
-        assert a.random() != b.random()
+    for name in ("PublicRandomness", "split_rng", "_PermList"):
+        assert not hasattr(randomness, name)
+        assert not hasattr(comm, name)
+    assert "PublicRandomness" not in comm.__all__
+    assert "split_rng" not in comm.__all__
 
 
 class TestNewmanOverhead:
@@ -165,6 +33,10 @@ class TestNewmanOverhead:
 
     def test_monotone_in_delta(self):
         assert newman_overhead_bits(100, 0.001) > newman_overhead_bits(100, 0.1)
+
+    def test_additive_form(self):
+        # log2(1024) = 10 plus log2(1/0.01) → ceil(6.64...) = 7.
+        assert newman_overhead_bits(1024, 0.01) == 17
 
     def test_rejects_bad_arguments(self):
         with pytest.raises(ValueError):

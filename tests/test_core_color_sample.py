@@ -7,14 +7,15 @@ from collections import Counter
 
 import pytest
 
-from repro.comm import PublicRandomness, run_protocol
+from repro.comm import run_protocol
+from repro.rand import Stream
 from repro.core import color_sample_party
 
 
 def sample_once(m, used_a, used_b, seed):
     a, b, t = run_protocol(
-        color_sample_party(m, used_a, PublicRandomness(seed)),
-        color_sample_party(m, used_b, PublicRandomness(seed)),
+        color_sample_party(m, used_a, Stream.from_seed(seed)),
+        color_sample_party(m, used_b, Stream.from_seed(seed)),
     )
     assert a == b, "the sampled color must be common knowledge"
     return a, t
@@ -47,11 +48,11 @@ class TestCorrectness:
 
     def test_rejects_empty_palette(self):
         with pytest.raises(ValueError):
-            next(color_sample_party(0, set(), PublicRandomness(0)))
+            next(color_sample_party(0, set(), Stream.from_seed(0)))
 
     def test_rejects_out_of_palette_used_colors(self):
         with pytest.raises(ValueError):
-            next(color_sample_party(3, {4}, PublicRandomness(0)))
+            next(color_sample_party(3, {4}, Stream.from_seed(0)))
 
 
 class TestUniformity:

@@ -6,7 +6,8 @@ import random
 
 import pytest
 
-from repro.comm import PublicRandomness, run_protocol, split_rng
+from repro.comm import run_protocol
+from repro.rand import Stream
 from repro.core import d1lc_party, sample_list_size, sparsity_threshold
 from repro.core.d1lc import SAMPLE_FACTOR
 from repro.graphs import Graph, gnp_random_graph, is_proper_list_coloring, partition_random
@@ -37,9 +38,9 @@ def make_d1lc_instance(rng, n, p):
 
 
 def run_d1lc(part, lists_a, lists_b, active, m, seed=0):
-    pub_a, pub_b = PublicRandomness(seed), PublicRandomness(seed)
-    rng_a = split_rng(random.Random(seed), "a")
-    rng_b = split_rng(random.Random(seed), "b")
+    pub_a, pub_b = Stream.from_seed(seed), Stream.from_seed(seed)
+    rng_a = Stream.from_seed(seed).derive_random("a")
+    rng_b = Stream.from_seed(seed).derive_random("b")
     a, b, t = run_protocol(
         d1lc_party("alice", part.alice_graph, lists_a, active, m, pub_a, rng_a),
         d1lc_party("bob", part.bob_graph, lists_b, active, m, pub_b, rng_b),
@@ -103,7 +104,7 @@ class TestProtocol:
         )
         m = 3
         lists = {v: {1, 2, 3} for v in active}
-        pub_a, pub_b = PublicRandomness(1), PublicRandomness(1)
+        pub_a, pub_b = Stream.from_seed(1), Stream.from_seed(1)
         a, b, _ = run_protocol(
             d1lc_party("alice", sub_a, lists, active, m, pub_a, random.Random(1)),
             d1lc_party("bob", sub_b, lists, active, m, pub_b, random.Random(1)),
@@ -117,7 +118,7 @@ class TestProtocol:
             next(
                 d1lc_party(
                     "carol", g, {v: {1} for v in g.vertices()}, [0], 1,
-                    PublicRandomness(0), rng,
+                    Stream.from_seed(0), rng,
                 )
             )
 

@@ -6,7 +6,8 @@ import random
 
 import pytest
 
-from repro.comm import PublicRandomness, run_protocol
+from repro.comm import run_protocol
+from repro.rand import Stream
 from repro.core import d1lc_party
 from repro.core.d1lc import _induced_on, _pack_colors, _unpack_colors
 from repro.graphs import Graph, gnp_random_graph, is_proper_list_coloring, partition_random
@@ -52,9 +53,9 @@ class TestForcedFallback:
         active = list(g.vertices())
         a, b, t = run_protocol(
             d1lc_party("alice", part.alice_graph, lists, active, m,
-                       PublicRandomness(3), random.Random(3)),
+                       Stream.from_seed(3), random.Random(3)),
             d1lc_party("bob", part.bob_graph, lists, active, m,
-                       PublicRandomness(3), random.Random(3)),
+                       Stream.from_seed(3), random.Random(3)),
         )
         assert a == b
         assert is_proper_list_coloring(g, a, lists)
@@ -77,9 +78,9 @@ class TestForcedFallback:
         def run():
             _, _, t = run_protocol(
                 d1lc_party("alice", part.alice_graph, lists, active, m,
-                           PublicRandomness(4), random.Random(4)),
+                           Stream.from_seed(4), random.Random(4)),
                 d1lc_party("bob", part.bob_graph, lists, active, m,
-                           PublicRandomness(4), random.Random(4)),
+                           Stream.from_seed(4), random.Random(4)),
             )
             return t.total_bits
 
@@ -95,5 +96,5 @@ class TestValidation:
         with pytest.raises(ValueError):
             next(
                 d1lc_party("eve", g, {0: {1}, 1: {1}}, [0, 1], 2,
-                           PublicRandomness(0), rng)
+                           Stream.from_seed(0), rng)
             )

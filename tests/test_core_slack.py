@@ -7,7 +7,8 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.comm import PublicRandomness, Transcript, run_protocol
+from repro.comm import Transcript, run_protocol
+from repro.rand import Stream
 from repro.core.slack import (
     guess_schedule,
     randomized_slack_party,
@@ -85,8 +86,8 @@ class TestGuessSchedule:
 class TestRandomizedSlack:
     def run_randomized(self, m, X, Y, seed=0):
         return run_protocol(
-            randomized_slack_party(m, X, PublicRandomness(seed)),
-            randomized_slack_party(m, Y, PublicRandomness(seed)),
+            randomized_slack_party(m, X, Stream.from_seed(seed)),
+            randomized_slack_party(m, Y, Stream.from_seed(seed)),
         )
 
     @given(st.data())
@@ -130,21 +131,21 @@ class TestRandomizedSlack:
 
     def test_rejects_empty_ground(self):
         with pytest.raises(ValueError):
-            next(randomized_slack_party(0, set(), PublicRandomness(0)))
+            next(randomized_slack_party(0, set(), Stream.from_seed(0)))
 
     def test_violated_precondition_raises(self):
         # X ∪ Y = ground with |X|+|Y| = m: Algorithm 3 must detect this.
         with pytest.raises(RuntimeError):
             run_protocol(
-                randomized_slack_party(2, {0}, PublicRandomness(0)),
-                randomized_slack_party(2, {1}, PublicRandomness(0)),
+                randomized_slack_party(2, {0}, Stream.from_seed(0)),
+                randomized_slack_party(2, {1}, Stream.from_seed(0)),
             )
 
     def test_transcript_symmetry(self):
         transcript = Transcript()
         run_protocol(
-            randomized_slack_party(32, {1, 2}, PublicRandomness(5)),
-            randomized_slack_party(32, {3}, PublicRandomness(5)),
+            randomized_slack_party(32, {1, 2}, Stream.from_seed(5)),
+            randomized_slack_party(32, {3}, Stream.from_seed(5)),
             transcript,
         )
         # Counts flow both ways every round.

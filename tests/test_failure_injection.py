@@ -138,7 +138,7 @@ class TestScheduleBreakage:
         """The Theorem 1 driver cross-checks the parties' outputs; feeding
         parties different public tapes must be caught, not silently
         accepted."""
-        from repro.comm import PublicRandomness
+        from repro.rand import Stream
         from repro.core import random_color_trial_party
 
         g = random_regular_graph(30, 4, rng)
@@ -147,8 +147,8 @@ class TestScheduleBreakage:
             # Different seeds → different awake sets → either a desync,
             # a protocol error, or (caught downstream) disagreeing colors.
             (a_colors, a_active), (b_colors, b_active), _ = run_protocol(
-                random_color_trial_party(part.alice_graph, 5, PublicRandomness(1)),
-                random_color_trial_party(part.bob_graph, 5, PublicRandomness(2)),
+                random_color_trial_party(part.alice_graph, 5, Stream.from_seed(1)),
+                random_color_trial_party(part.bob_graph, 5, Stream.from_seed(2)),
             )
             if a_colors != b_colors or a_active != b_active:
                 raise AssertionError("parties disagree")

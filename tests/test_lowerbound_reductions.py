@@ -3,10 +3,10 @@ and the W-streaming reduction."""
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
+from repro.rand import Stream
 from repro.core import run_edge_coloring, run_vertex_coloring
 from repro.graphs import (
     assert_proper_edge_coloring,
@@ -33,7 +33,7 @@ from repro.lowerbound import (
 
 class TestParallelRepetition:
     def test_exact_product_decay(self):
-        rng = random.Random(0)
+        rng = Stream.from_seed(0).derive_random("reduction-tests")
         alice, bob, value = optimize_strategies(rng, restarts=3, iterations=8)
         assert value < 1.0
         for copies in (1, 10, 100):
@@ -46,7 +46,7 @@ class TestParallelRepetition:
         )
 
     def test_simulation_matches_exact(self):
-        rng = random.Random(1)
+        rng = Stream.from_seed(1).derive_random("reduction-tests")
         alice, bob, value = optimize_strategies(rng, restarts=2, iterations=5)
         est = simulate_product_game(alice, bob, copies=5, trials=3000, rng=rng)
         assert abs(est - value**5) < 0.06
@@ -68,7 +68,7 @@ class TestParallelRepetition:
         assert g.max_degree() == 2
 
     def test_product_graph_colorable_by_theorem2(self):
-        rng = random.Random(2)
+        rng = Stream.from_seed(2).derive_random("reduction-tests")
         instances = [
             (tuple(sorted(rng.sample(range(1, 8), 2))), tuple(sorted(rng.sample(range(1, 8), 2))))
             for _ in range(10)
@@ -131,7 +131,7 @@ class TestTranscriptGuessing:
 
 class TestLearningGadget:
     def test_end_to_end_decoding(self):
-        rng = random.Random(3)
+        rng = Stream.from_seed(3).derive_random("reduction-tests")
         for trial in range(5):
             bits = [rng.randint(0, 1) for _ in range(25)]
             part = gadget_partition(bits)

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import itertools
-import random
 
 import pytest
 
+from repro.rand import Stream
 from repro.lowerbound import (
     ALL_INPUTS,
     COLOR_PAIRS,
@@ -48,20 +48,20 @@ class TestExactEvaluation:
         assert value > 0.8
 
     def test_value_is_rational_with_denominator_441(self):
-        rng = random.Random(1)
+        rng = Stream.from_seed(1).derive_random("zec-tests")
         strat_a, strat_b = random_strategy(rng), random_strategy(rng)
         value = exact_win_probability(strat_a, strat_b)
         assert abs(value * 441 - round(value * 441)) < 1e-9
 
     def test_never_exceeds_lemma_bound(self):
         """Lemma 6.2 on 200 random strategy pairs."""
-        rng = random.Random(2)
+        rng = Stream.from_seed(2).derive_random("zec-tests")
         for _ in range(200):
             a, b = random_strategy(rng), random_strategy(rng)
             assert exact_win_probability(a, b) <= LEMMA_62_BOUND + 1e-12
 
     def test_optimized_strategies_never_exceed_bound(self):
-        rng = random.Random(3)
+        rng = Stream.from_seed(3).derive_random("zec-tests")
         alice, bob, value = optimize_strategies(rng, restarts=4, iterations=10)
         assert value < 1.0
         assert value <= LEMMA_62_BOUND + 1e-12
@@ -71,7 +71,7 @@ class TestExactEvaluation:
 
 class TestBestResponse:
     def test_improves_or_matches(self):
-        rng = random.Random(4)
+        rng = Stream.from_seed(4).derive_random("zec-tests")
         for _ in range(10):
             alice, bob = random_strategy(rng), random_strategy(rng)
             base = exact_win_probability(alice, bob)
@@ -79,20 +79,20 @@ class TestBestResponse:
             assert improved >= base - 1e-12
 
     def test_response_is_locally_proper(self):
-        rng = random.Random(5)
+        rng = Stream.from_seed(5).derive_random("zec-tests")
         alice = random_strategy(rng)
         response = best_response(alice, "bob")
         assert all(pair in COLOR_PAIRS for pair in response.values())
 
     def test_rejects_unknown_role(self):
-        rng = random.Random(5)
+        rng = Stream.from_seed(5).derive_random("zec-tests")
         with pytest.raises(ValueError):
             best_response(random_strategy(rng), "carol")
 
 
 class TestLabels:
     def test_labels_cover_used_colors(self):
-        rng = random.Random(6)
+        rng = Stream.from_seed(6).derive_random("zec-tests")
         strat = random_strategy(rng)
         labels = label_sets(strat)
         for (i, j), (ci, cj) in strat.items():
@@ -100,7 +100,7 @@ class TestLabels:
             assert cj in labels[j]
 
     def test_dichotomy_always_resolves(self):
-        rng = random.Random(7)
+        rng = Stream.from_seed(7).derive_random("zec-tests")
         for _ in range(100):
             a, b = random_strategy(rng), random_strategy(rng)
             assert lemma_62_dichotomy(a, b) in ("case1", "case2")
@@ -127,7 +127,7 @@ class TestZecNew:
         assert abs(zec_new_bound(11024 / 11025) - 33074 / 33075) < 1e-12
 
     def test_win_probability_above_coloring_alone(self):
-        rng = random.Random(8)
+        rng = Stream.from_seed(8).derive_random("zec-tests")
         a, b = random_strategy(rng), random_strategy(rng)
         coloring_only = exact_win_probability(a, b)
         with_guessing = zec_new_win_probability(a, b)
@@ -135,7 +135,7 @@ class TestZecNew:
         assert with_guessing < 1.0
 
     def test_simulation_close_to_exact(self):
-        rng = random.Random(9)
+        rng = Stream.from_seed(9).derive_random("zec-tests")
         a, b = random_strategy(rng), random_strategy(rng)
         exact = zec_new_win_probability(a, b)
         estimate = simulate_zec_new(a, b, rng, trials=4000)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from repro.comm import PublicRandomness, run_protocol
+from repro.comm import run_protocol
+from repro.rand import Stream
 from repro.core import random_color_trial_party
 from repro.graphs import partition_random, random_regular_graph
 
@@ -14,10 +15,10 @@ class TestActiveHistory:
         history: list[int] = []
         (colors, active), _, t = run_protocol(
             random_color_trial_party(
-                part.alice_graph, d + 1, PublicRandomness(seed), cap, history
+                part.alice_graph, d + 1, Stream.from_seed(seed), cap, history
             ),
             random_color_trial_party(
-                part.bob_graph, d + 1, PublicRandomness(seed), cap
+                part.bob_graph, d + 1, Stream.from_seed(seed), cap
             ),
         )
         return history, colors, active, t
@@ -47,10 +48,10 @@ class TestActiveHistory:
             history = [] if with_history else None
             (colors, active), _, t = run_protocol(
                 random_color_trial_party(
-                    part.alice_graph, 7, PublicRandomness(9), None, history
+                    part.alice_graph, 7, Stream.from_seed(9), None, history
                 ),
                 random_color_trial_party(
-                    part.bob_graph, 7, PublicRandomness(9), None
+                    part.bob_graph, 7, Stream.from_seed(9), None
                 ),
             )
             return colors, active, t.total_bits, t.rounds
