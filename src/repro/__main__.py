@@ -16,10 +16,21 @@ Subcommands:
 
 ``merge``
     Combine per-shard ``sweep.json`` documents into the unsharded
-    document, verifying versions, seeds, and coordinate disjointness —
+    document, verifying versions, seeds, and overlap identity —
     and, with ``--check-complete``, that the union covers the whole
     grid.  The re-rendered ``sweep.json`` is bit-for-bit identical to
     what one serial sweep would have written.
+
+``dispatch``
+    The in-repo distributed driver: split the grid into many shards
+    (stable-hash by default, ``--weighted`` cost-packed), fan them out
+    over ``--workers`` slots of a pluggable executor (``local``
+    subprocesses or ``ssh://host``), tail shard journals for live
+    per-scenario progress, survive worker kills / stragglers
+    (``--timeout``, ``--retries``, exponential backoff, journal-resumed
+    re-dispatch) and coordinator crashes (``dispatch.json`` manifest +
+    ``--resume``), and tree-merge partial documents as shards finish.
+    The merged ``sweep.json`` is bit-for-bit a serial sweep's.
 
 ``bench``
     Compare the set-based and bitset graph backends on the shared
@@ -126,6 +137,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep_p.add_argument(
+        "--scenario-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run only the scenario names listed in PATH (one per line, "
+            "'#' comments allowed) — the explicit-membership alternative "
+            "to --shard that cost-weighted dispatch shards use; every "
+            "name must be in the selected grid"
+        ),
+    )
+    sweep_p.add_argument(
         "--reps",
         type=int,
         default=1,
@@ -189,6 +211,132 @@ def _build_parser() -> argparse.ArgumentParser:
         default="sweep",
         metavar="NAME",
         help="basename of the shard and merged documents (default: sweep)",
+    )
+
+    dispatch_p = sub.add_parser(
+        "dispatch",
+        help="fan a sweep out over a worker pool with live merge",
+        description=(
+            "Split the scenario grid into many shards, run them across a "
+            "worker pool (local subprocesses or ssh://host), tail each "
+            "shard's journal for live progress, and tree-merge partial "
+            "documents as shards finish.  Worker kills, stragglers, and "
+            "coordinator crashes are survivable (--resume); the merged "
+            "sweep.json is bit-for-bit identical to a serial sweep."
+        ),
+    )
+    dispatch_p.add_argument("--smoke", action="store_true", help="the small CI grid")
+    dispatch_p.add_argument("--filter", default=None, metavar="SUBSTR")
+    dispatch_p.add_argument(
+        "--backend", choices=("set", "bitset", "both"), default=None
+    )
+    dispatch_p.add_argument(
+        "--transport",
+        choices=_TRANSPORT_CHOICES + ("all",),
+        default="lockstep",
+    )
+    dispatch_p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent worker slots (default: 2)",
+    )
+    dispatch_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="M",
+        help=(
+            "shard count; default 4x --workers (capped at the grid size) "
+            "so one slow shard never serializes the sweep"
+        ),
+    )
+    dispatch_p.add_argument(
+        "--weighted",
+        action="store_true",
+        help=(
+            "pack shards greedily by ~n*d cost hints instead of the "
+            "default stable-hash assignment (balances uneven grids; "
+            "hash stays the default for CI-matrix compatibility)"
+        ),
+    )
+    dispatch_p.add_argument(
+        "--executor",
+        default="local",
+        metavar="SPEC",
+        help="'local' (default) or 'ssh://host' (shared filesystem assumed)",
+    )
+    dispatch_p.add_argument(
+        "--reps", type=int, default=1, metavar="R", help="replications per scenario"
+    )
+    dispatch_p.add_argument(
+        "--worker-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool size inside each worker (default: 1)",
+    )
+    dispatch_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help=(
+            "per-attempt straggler cap: kill and journal-resume a shard "
+            "that runs longer (default: no timeout)"
+        ),
+    )
+    dispatch_p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help="re-dispatches allowed per shard before giving up (default: 2)",
+    )
+    dispatch_p.add_argument(
+        "--backoff",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="base of the exponential retry delay (default: 1.0)",
+    )
+    dispatch_p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reload <work-dir>/dispatch.json and continue: finished "
+            "shards are merged from disk, interrupted ones rerun "
+            "journal-resumed"
+        ),
+    )
+    dispatch_p.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="directory for the merged sweep.json / sweep.md (default: results/)",
+    )
+    dispatch_p.add_argument(
+        "--work-dir",
+        default=None,
+        metavar="DIR",
+        help="shard dirs + manifest location (default: <out>/dispatch)",
+    )
+    dispatch_p.add_argument(
+        "--label",
+        default="sweep",
+        metavar="NAME",
+        help="basename of the result documents (default: sweep)",
+    )
+    dispatch_p.add_argument(
+        "--inject-kill",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "(testing/CI) SIGKILL the Kth live shard's first worker once "
+            "it has journaled a scenario, to prove the kill+resume path"
+        ),
     )
 
     bench_p = sub.add_parser(
@@ -306,6 +454,31 @@ def _apply_shard(scenarios, spec: str | None):
     return shard_scenarios(scenarios, index, count), f"{index}/{count}"
 
 
+def _apply_scenario_file(scenarios, path: str | None):
+    """Narrow a grid to the names listed in a shard-membership file.
+
+    Keeps grid order (membership files carry *which* scenarios, the grid
+    carries the canonical order); unknown names are an error so a stale
+    file can never silently shrink a shard.
+    """
+    if path is None:
+        return scenarios
+    lines = Path(path).read_text().splitlines()
+    wanted = {
+        line.strip() for line in lines
+        if line.strip() and not line.lstrip().startswith("#")
+    }
+    known = {s.name for s in scenarios}
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise ValueError(
+            f"scenario file names {len(unknown)} coordinates not in the "
+            f"selected grid (selection flags must match): {unknown[:3]}"
+            + (" ..." if len(unknown) > 3 else "")
+        )
+    return [s for s in scenarios if s.name in wanted]
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scenarios = _select_scenarios(args)
     if not scenarios:
@@ -314,9 +487,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.reps < 1:
         print(f"error: --reps must be >= 1, got {args.reps}", file=sys.stderr)
         return 2
+    if args.shard is not None and args.scenario_file is not None:
+        print(
+            "error: --shard and --scenario-file are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     try:
         scenarios, shard = _apply_shard(scenarios, args.shard)
-    except ValueError as exc:
+        scenarios = _apply_scenario_file(scenarios, args.scenario_file)
+    except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     journal = Journal(
@@ -330,7 +510,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if not scenarios:
             # An empty shard is a valid (if unlucky) cut of a small grid:
             # emit an empty document so the merge job still finds N inputs.
-            print(f"shard {shard} holds no scenarios; writing empty document")
+            which = f"shard {shard}" if shard else "scenario file"
+            print(f"{which} holds no scenarios; writing empty document")
             json_path, md_path = write_results(
                 [], args.out, label=args.label, shard=shard
             )
@@ -386,6 +567,92 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     json_path, md_path = write_results(merged, args.out, label=args.label)
     print(f"wrote {json_path} and {md_path}")
     invalid = [r["scenario"] for r in merged if not r.get("valid")]
+    if invalid:
+        print(f"INVALID colorings in: {invalid}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _selection_argv(args: argparse.Namespace) -> list[str]:
+    """The grid-selection argv fragment shared by dispatch workers.
+
+    Reconstructs exactly the flags ``_select_scenarios`` consumed, so a
+    worker's ``repro sweep`` sees the same grid the coordinator split.
+    """
+    argv: list[str] = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.filter is not None:
+        argv += ["--filter", args.filter]
+    if args.backend is not None:
+        argv += ["--backend", args.backend]
+    argv += ["--transport", args.transport]
+    return argv
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    from .dispatch import Coordinator, DispatchConfig, DispatchError, make_executor
+
+    scenarios = _select_scenarios(args)
+    if not scenarios:
+        print("no scenarios match the filter", file=sys.stderr)
+        return 2
+    if args.reps < 1:
+        print(f"error: --reps must be >= 1, got {args.reps}", file=sys.stderr)
+        return 2
+    try:
+        executor = make_executor(args.executor)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = DispatchConfig(
+        workers=args.workers,
+        shards=args.shards,
+        weighted=args.weighted,
+        reps=args.reps,
+        label=args.label,
+        worker_jobs=args.worker_jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        inject_kill=args.inject_kill,
+    )
+    work_dir = Path(args.work_dir) if args.work_dir else Path(args.out) / "dispatch"
+    try:
+        coordinator = Coordinator(
+            scenarios,
+            _selection_argv(args),
+            work_dir=work_dir,
+            out_dir=args.out,
+            executor=executor,
+            config=config,
+            progress=lambda message: print(f"  {message}", flush=True),
+            resume=args.resume,
+        )
+    except DispatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"dispatching {len(scenarios)} scenarios over "
+        f"{len(coordinator.manifest.shards)} shards "
+        f"({coordinator.manifest.assignment} assignment, "
+        f"{config.workers} workers, executor {args.executor}) ..."
+    )
+    try:
+        records, json_path, md_path = coordinator.run()
+    except DispatchError as exc:
+        print(f"dispatch failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted: workers killed; journals and the manifest "
+            f"survive under {work_dir} — rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
+    print(results_table(records))
+    print(f"\nwrote {json_path} and {md_path}")
+    invalid = [r["scenario"] for r in records if not r.get("valid")]
     if invalid:
         print(f"INVALID colorings in: {invalid}", file=sys.stderr)
         return 1
@@ -650,6 +917,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "merge":
         return _cmd_merge(args)
+    if args.command == "dispatch":
+        return _cmd_dispatch(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "list-scenarios":

@@ -1,0 +1,44 @@
+"""Fault-tolerant sweep dispatching: ``python -m repro dispatch``.
+
+The in-repo driver that replaces external CI matrixes for multi-worker
+sweeps: :class:`Coordinator` cuts the grid into many shards, fans them
+out over an :class:`Executor` (local subprocesses or ``ssh://host``),
+streams live progress by tailing each shard's journal, survives worker
+kills, stragglers, and its own death (``dispatch.json`` manifest +
+``--resume``), and hierarchically tree-merges partial documents into a
+``sweep.json`` that is bit-for-bit the serial sweep's.
+
+Layering: this package sits strictly *above* :mod:`repro.engine` — it
+launches workers that are themselves plain ``repro sweep`` invocations
+and folds their documents with the engine's own merge, so every
+guarantee the sharded sweep path pins (canonical documents, stable
+seeds, journal resume) is inherited rather than reimplemented.
+"""
+
+from .coordinator import Coordinator, DispatchConfig, MergeTree
+from .executors import (
+    Executor,
+    LocalExecutor,
+    SSHExecutor,
+    WorkerHandle,
+    make_executor,
+)
+from .manifest import DispatchError, Manifest, ShardState, grid_fingerprint
+from .progress import JournalTail, ShardProgress
+
+__all__ = [
+    "Coordinator",
+    "DispatchConfig",
+    "DispatchError",
+    "Executor",
+    "JournalTail",
+    "LocalExecutor",
+    "Manifest",
+    "MergeTree",
+    "SSHExecutor",
+    "ShardProgress",
+    "ShardState",
+    "WorkerHandle",
+    "grid_fingerprint",
+    "make_executor",
+]

@@ -1,0 +1,450 @@
+"""The dispatch coordinator: fan out shards, tail journals, tree-merge.
+
+The driver the ROADMAP asked for: ``repro dispatch`` splits the grid
+into M shards (M deliberately larger than the worker count so one slow
+shard never serializes the sweep), launches at most ``workers`` of them
+at a time through a pluggable :class:`~repro.dispatch.executors.Executor`,
+tails every running shard's ``journal.jsonl`` for live per-scenario
+progress, and folds shard documents into a hierarchical merge the moment
+each one lands — by the time the last shard finishes, the sweep is one
+small merge away from done, never one giant terminal merge.
+
+Robustness model (every path below is exercised by the fault-injection
+suite):
+
+* A worker may die at any instant (crash, OOM, SIGKILL).  Its journal
+  survives; the shard is relaunched with ``--resume`` after an
+  exponential backoff, replaying completed scenarios — bounded by
+  ``retries``.
+* A worker may *hang* (straggler).  ``timeout`` caps each attempt's wall
+  time; on expiry the worker is killed and the shard re-dispatched the
+  same journal-resumed way, so only the scenarios it had not journaled
+  rerun.
+* The coordinator itself may die.  Its ``dispatch.json`` manifest is
+  written atomically on every state change, so ``dispatch --resume``
+  reloads completed shard documents from disk, demotes interrupted
+  shards to pending, and continues — it never reruns a finished shard.
+* Shutdown (normal, error, or Ctrl-C) always kills outstanding workers;
+  what remains on disk is exactly the replayable journals and canonical
+  partial documents.
+
+The headline invariant extends the sharded-sweep one: the merged
+document is bit-for-bit the serial ``repro sweep`` document, including
+after injected worker kills, because every record is a pure function of
+its coordinate and the merge is content-addressed (identical overlaps
+fold idempotently).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..engine import (
+    Scenario,
+    build_document,
+    load_shard_document,
+    merge_documents,
+    pack_shards,
+    shard_scenarios,
+    write_results,
+)
+from .executors import Executor, WorkerHandle
+from .manifest import DispatchError, Manifest, ShardState, grid_fingerprint
+from .progress import ShardProgress
+
+__all__ = ["Coordinator", "DispatchConfig", "DispatchError", "MergeTree"]
+
+
+@dataclass
+class DispatchConfig:
+    """Tuning knobs for one dispatch run."""
+
+    workers: int = 2  # concurrent worker slots
+    shards: int | None = None  # M; default 4x workers, capped at grid size
+    weighted: bool = False  # cost-hint packing instead of hash assignment
+    reps: int = 1
+    label: str = "sweep"
+    worker_jobs: int = 1  # --jobs inside each worker
+    timeout: float | None = None  # per-attempt straggler cap (seconds)
+    retries: int = 2  # re-dispatches allowed per shard
+    backoff: float = 1.0  # base of the exponential retry delay (seconds)
+    poll_interval: float = 0.05
+    inject_kill: int | None = None  # (testing/CI) SIGKILL this shard once
+    abort_after_merges: int | None = None  # (testing) simulate coordinator crash
+
+
+class MergeTree:
+    """Hierarchical incremental merge of shard documents.
+
+    A binary-counter fold (the HAPOD-style partial-merge tree): each
+    finished shard enters at level 0, and whenever two partials meet at
+    a level they merge into one at the next — so after S shards only
+    O(log S) partials are alive and every merge is between documents of
+    comparable size.  Each fold routes through
+    :func:`~repro.engine.merge_documents` (validating versions, seeds,
+    and overlap identity) and rewraps via
+    :func:`~repro.engine.build_document`, so intermediate partials are
+    themselves canonical documents.  The final record list is
+    independent of arrival order: merging is content-based and the
+    output is always reassembled in grid order.
+    """
+
+    def __init__(self, expected: Sequence[Scenario]) -> None:
+        self.expected = list(expected)
+        self.levels: list[dict[str, Any] | None] = []
+        self.merges = 0  # folds performed (observability + tests)
+
+    def add(self, document: dict[str, Any]) -> None:
+        """Fold one shard document into the tree."""
+        carry = document
+        level = 0
+        while level < len(self.levels) and self.levels[level] is not None:
+            carry = self._fold(self.levels[level], carry)
+            self.levels[level] = None
+            level += 1
+        if level == len(self.levels):
+            self.levels.append(carry)
+        else:
+            self.levels[level] = carry
+
+    def _fold(self, left: dict[str, Any], right: dict[str, Any]) -> dict[str, Any]:
+        records = merge_documents([left, right], self.expected)
+        self.merges += 1
+        return build_document(records)
+
+    def finish(self, check_complete: bool = True) -> list[dict[str, Any]]:
+        """Merge the surviving partials into the final record list."""
+        partials = [d for d in self.levels if d is not None]
+        return merge_documents(
+            partials, self.expected, check_complete=check_complete
+        )
+
+
+class Coordinator:
+    """Owns one dispatch run: scheduling, fault handling, merging."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        selection_args: Sequence[str],
+        work_dir: str | Path,
+        out_dir: str | Path,
+        executor: Executor,
+        config: DispatchConfig,
+        progress: Callable[[str], None] | None = None,
+        resume: bool = False,
+    ) -> None:
+        if not scenarios:
+            raise DispatchError("nothing to dispatch: empty scenario grid")
+        if config.workers < 1:
+            raise DispatchError(f"need at least one worker, got {config.workers}")
+        self.grid = list(scenarios)
+        self.selection_args = list(selection_args)
+        self.work_dir = Path(work_dir)
+        self.out_dir = Path(out_dir)
+        self.executor = executor
+        self.config = config
+        self.progress = progress or (lambda message: None)
+        self.resume = resume
+        self.shard_count = self._shard_count()
+        self.fingerprint = grid_fingerprint(
+            [s.name for s in self.grid], config.reps, config.label
+        )
+        self.manifest = self._load_or_create_manifest()
+        self.tree = MergeTree(self.grid)
+        self.launches = 0  # total worker launches (tests assert on this)
+        self._injected = False
+
+    # -- setup ---------------------------------------------------------
+
+    def _shard_count(self) -> int:
+        if self.config.shards is not None:
+            if self.config.shards < 1:
+                raise DispatchError(f"need >= 1 shard, got {self.config.shards}")
+            return self.config.shards
+        return max(1, min(4 * self.config.workers, len(self.grid)))
+
+    def _split(self) -> list[ShardState]:
+        """Cut the grid into shard states (empty shards are dropped)."""
+        count = self.shard_count
+        if self.config.weighted:
+            parts = pack_shards(self.grid, count)
+            specs: list[str | None] = [None] * count
+        else:
+            parts = [shard_scenarios(self.grid, k, count) for k in range(1, count + 1)]
+            specs = [f"{k}/{count}" for k in range(1, count + 1)]
+        return [
+            ShardState(
+                shard_id=k,
+                scenarios=[s.name for s in part],
+                spec=specs[k - 1],
+            )
+            for k, part in enumerate(parts, start=1)
+            if part
+        ]
+
+    def _load_or_create_manifest(self) -> Manifest:
+        path = self.work_dir / "dispatch.json"
+        if self.resume:
+            manifest = Manifest.load(path)
+            manifest.check_resumable(self.fingerprint)
+            manifest.reset_interrupted()
+            manifest.save()
+            return manifest
+        manifest = Manifest(
+            path=path,
+            fingerprint=self.fingerprint,
+            reps=self.config.reps,
+            label=self.config.label,
+            assignment="weighted" if self.config.weighted else "hash",
+            shards=self._split(),
+        )
+        manifest.save()
+        return manifest
+
+    # -- per-shard plumbing --------------------------------------------
+
+    def shard_dir(self, shard_id: int) -> Path:
+        return self.work_dir / f"shard-{shard_id:03d}"
+
+    def _worker_args(self, shard: ShardState) -> list[str]:
+        """The ``repro sweep`` argv for one attempt at a shard.
+
+        The first attempt of a fresh dispatch starts clean (``Journal``
+        truncates any stale file); every later attempt — retry,
+        straggler re-dispatch, or coordinator resume — passes
+        ``--resume`` so the worker replays its journal and runs only
+        what is missing.
+        """
+        args = list(self.selection_args)
+        if shard.spec is not None:
+            args += ["--shard", shard.spec]
+        else:
+            scenario_file = self.shard_dir(shard.shard_id) / "scenarios.txt"
+            scenario_file.parent.mkdir(parents=True, exist_ok=True)
+            scenario_file.write_text("".join(f"{n}\n" for n in shard.scenarios))
+            args += ["--scenario-file", str(scenario_file)]
+        args += [
+            "--jobs", str(self.config.worker_jobs),
+            "--reps", str(self.config.reps),
+            "--label", self.config.label,
+            "--out", str(self.shard_dir(shard.shard_id)),
+        ]
+        if shard.attempts > 0 or self.resume:
+            args.append("--resume")
+        return args
+
+    def _launch(self, shard: ShardState) -> WorkerHandle:
+        args = self._worker_args(shard)
+        shard.attempts += 1
+        shard.status = "running"
+        self.manifest.save()
+        handle = self.executor.launch(
+            shard.shard_id,
+            shard.attempts,
+            args,
+            self.shard_dir(shard.shard_id) / "worker.log",
+        )
+        self.launches += 1
+        self.progress(
+            f"[shard {shard.shard_id}] launched attempt {shard.attempts} "
+            f"({len(shard.scenarios)} scenarios)"
+        )
+        return handle
+
+    def _load_done_document(self, shard: ShardState) -> dict[str, Any] | None:
+        """A finished shard's document, or ``None`` if it is unusable."""
+        try:
+            return load_shard_document(
+                self.shard_dir(shard.shard_id), label=self.config.label
+            )
+        except (OSError, ValueError):
+            return None
+
+    # -- the run loop --------------------------------------------------
+
+    def run(self) -> tuple[list[dict[str, Any]], Path, Path]:
+        """Execute the dispatch; returns (records, json_path, md_path)."""
+        pending: list[ShardState] = []
+        merged = 0
+        for shard in self.manifest.shards:
+            if shard.status == "done":
+                document = self._load_done_document(shard)
+                if document is None:
+                    # The manifest says done but the document is gone or
+                    # torn (e.g. the shard dir was cleaned): rerun it.
+                    shard.status = "pending"
+                    pending.append(shard)
+                    continue
+                self.tree.add(document)
+                merged += 1
+                self.progress(
+                    f"[shard {shard.shard_id}] already complete "
+                    "(resumed from manifest)"
+                )
+            else:
+                pending.append(shard)
+        self.manifest.save()
+
+        running: dict[int, WorkerHandle] = {}
+        tails: dict[int, ShardProgress] = {}
+        eligible_at: dict[int, float] = {}
+        by_id = {s.shard_id: s for s in self.manifest.shards}
+        total_shards = len(self.manifest.shards)
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # Fill free worker slots with backoff-eligible shards.
+                while pending and len(running) < self.config.workers:
+                    ready = next(
+                        (
+                            s
+                            for s in pending
+                            if eligible_at.get(s.shard_id, 0.0) <= now
+                        ),
+                        None,
+                    )
+                    if ready is None:
+                        break
+                    pending.remove(ready)
+                    running[ready.shard_id] = self._launch(ready)
+                    tails[ready.shard_id] = ShardProgress(
+                        ready.shard_id,
+                        self.shard_dir(ready.shard_id) / "journal.jsonl",
+                        total=len(ready.scenarios),
+                    )
+
+                progressed = False
+                for shard_id in list(running):
+                    handle = running[shard_id]
+                    shard = by_id[shard_id]
+                    for message in tails[shard_id].poll():
+                        self.progress(message)
+                        progressed = True
+                    self._maybe_inject_kill(shard, handle, tails[shard_id])
+                    code = handle.poll()
+                    if code is None:
+                        if (
+                            self.config.timeout is not None
+                            and handle.elapsed() > self.config.timeout
+                        ):
+                            handle.kill()
+                            del running[shard_id]
+                            self._handle_failure(
+                                shard, pending, eligible_at, "straggler timeout"
+                            )
+                            progressed = True
+                        continue
+                    del running[shard_id]
+                    progressed = True
+                    if code == 0:
+                        document = self._load_done_document(shard)
+                        if document is None:
+                            self._handle_failure(
+                                shard,
+                                pending,
+                                eligible_at,
+                                "exited 0 but left no readable document",
+                            )
+                            continue
+                        shard.status = "done"
+                        self.manifest.save()
+                        self.tree.add(document)
+                        merged += 1
+                        self.progress(
+                            f"[shard {shard_id}] merged "
+                            f"({merged}/{total_shards} shards, "
+                            f"{self.tree.merges} tree folds)"
+                        )
+                        if (
+                            self.config.abort_after_merges is not None
+                            and merged >= self.config.abort_after_merges
+                        ):
+                            raise DispatchError(
+                                "aborted by test hook (abort_after_merges)"
+                            )
+                    else:
+                        self._handle_failure(
+                            shard, pending, eligible_at, f"exit code {code}"
+                        )
+                if not progressed:
+                    time.sleep(self.config.poll_interval)
+        finally:
+            # Clean shutdown on every exit path: no orphan workers, and
+            # what survives on disk is replayable journals + documents.
+            for handle in running.values():
+                handle.kill()
+
+        records = self.tree.finish(check_complete=True)
+        json_path, md_path = write_results(
+            records, self.out_dir, label=self.config.label
+        )
+        self.manifest.complete = True
+        self.manifest.save()
+        return records, json_path, md_path
+
+    def _handle_failure(
+        self,
+        shard: ShardState,
+        pending: list[ShardState],
+        eligible_at: dict[int, float],
+        why: str,
+    ) -> None:
+        """Re-queue a failed shard with backoff, or give up past the cap."""
+        failures = shard.attempts  # every attempt so far has now failed
+        if failures > self.config.retries:
+            shard.status = "failed"
+            self.manifest.save()
+            raise DispatchError(
+                f"shard {shard.shard_id} failed permanently after "
+                f"{failures} attempts ({why}); see "
+                f"{self.shard_dir(shard.shard_id) / 'worker.log'}"
+            )
+        delay = self.config.backoff * (2 ** (failures - 1))
+        shard.status = "pending"
+        self.manifest.save()
+        eligible_at[shard.shard_id] = time.monotonic() + delay
+        pending.append(shard)
+        self.progress(
+            f"[shard {shard.shard_id}] {why}; retry {failures}/"
+            f"{self.config.retries} in {delay:.1f}s (journal-resumed)"
+        )
+
+    def _inject_target(self) -> int | None:
+        """The shard id ``--inject-kill K`` targets: the Kth live shard.
+
+        Resolved against the manifest (which holds only non-empty
+        shards) and clamped to it, so the hook always lands on a shard
+        that actually runs work — a raw shard id could name a slot the
+        hash assignment left empty, silently skipping the injection.
+        """
+        if self.config.inject_kill is None or not self.manifest.shards:
+            return None
+        ordinal = max(1, min(self.config.inject_kill, len(self.manifest.shards)))
+        return self.manifest.shards[ordinal - 1].shard_id
+
+    def _maybe_inject_kill(
+        self, shard: ShardState, handle: WorkerHandle, tail: ShardProgress
+    ) -> None:
+        """Testing/CI hook: SIGKILL one shard's first attempt mid-flight.
+
+        Fires once, only after the worker has journaled at least one
+        scenario, so the kill provably lands *mid-shard* and the retry
+        path must resume — not restart — the work.
+        """
+        if (
+            self._injected
+            or self._inject_target() != shard.shard_id
+            or handle.attempt != 1
+            or not tail.done
+        ):
+            return
+        self._injected = True
+        handle.kill()
+        self.progress(
+            f"[shard {shard.shard_id}] injected SIGKILL after "
+            f"{len(tail.done)} journaled scenarios"
+        )

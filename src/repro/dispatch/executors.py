@@ -1,0 +1,138 @@
+"""Pluggable worker pools: where a shard sweep actually runs.
+
+An :class:`Executor` turns a shard's ``repro sweep`` argument vector
+into a running worker and hands back a :class:`WorkerHandle` the
+coordinator can poll, wait on, and kill.  Two executors ship:
+
+* :class:`LocalExecutor` — one ``python -m repro sweep ...`` subprocess
+  per shard, the default and what CI uses.
+* :class:`SSHExecutor` — the same command wrapped in ``ssh host ...``.
+  It assumes the repository (or an installed ``repro``) and the dispatch
+  work directory are visible on the remote at the same paths — i.e. a
+  shared filesystem, the usual cluster arrangement — because the
+  coordinator tails shard journals and loads shard documents from the
+  local side of that mount.
+
+Both spell launch identically, so the coordinator is executor-agnostic;
+:func:`make_executor` maps a CLI spec (``local`` or ``ssh://host``) to
+an instance.  Workers are killed with SIGKILL, never terminated softly:
+the whole design budget of the dispatcher is that a worker may die at
+any instant and the journals still reassemble the sweep, so the kill
+path exercises exactly the guarantee the fault-injection suite pins.
+"""
+
+from __future__ import annotations
+
+import shlex
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol, Sequence
+
+__all__ = [
+    "Executor",
+    "LocalExecutor",
+    "SSHExecutor",
+    "WorkerHandle",
+    "make_executor",
+]
+
+
+@dataclass
+class WorkerHandle:
+    """A launched shard worker the coordinator polls and may kill."""
+
+    shard_id: int
+    attempt: int
+    process: subprocess.Popen
+    started: float = field(default_factory=time.monotonic)
+
+    def poll(self) -> int | None:
+        """The worker's exit code, or ``None`` while it is still running."""
+        return self.process.poll()
+
+    def elapsed(self) -> float:
+        """Seconds since launch (monotonic)."""
+        return time.monotonic() - self.started
+
+    def kill(self) -> None:
+        """SIGKILL the worker and reap it; idempotent."""
+        if self.process.poll() is None:
+            self.process.kill()
+        try:
+            self.process.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kernel stall
+            pass
+
+
+class Executor(Protocol):
+    """The worker-pool protocol: launch a shard sweep, return its handle."""
+
+    def command(self, sweep_args: Sequence[str]) -> list[str]:
+        """The full argv that runs ``repro sweep`` with ``sweep_args``."""
+        ...
+
+    def launch(
+        self, shard_id: int, attempt: int, sweep_args: Sequence[str], log_path: Path
+    ) -> WorkerHandle:
+        """Start the shard worker, teeing its output to ``log_path``."""
+        ...
+
+
+class LocalExecutor:
+    """Runs each shard as a local ``python -m repro sweep`` subprocess."""
+
+    def __init__(self, python: str | None = None) -> None:
+        self.python = python or sys.executable
+
+    def command(self, sweep_args: Sequence[str]) -> list[str]:
+        return [self.python, "-m", "repro", "sweep", *sweep_args]
+
+    def launch(
+        self, shard_id: int, attempt: int, sweep_args: Sequence[str], log_path: Path
+    ) -> WorkerHandle:
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        with log_path.open("ab") as log:
+            process = subprocess.Popen(
+                self.command(sweep_args),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                stdin=subprocess.DEVNULL,
+            )
+        return WorkerHandle(shard_id=shard_id, attempt=attempt, process=process)
+
+
+class SSHExecutor(LocalExecutor):
+    """Runs each shard over ``ssh host`` (shared-filesystem assumption).
+
+    The remote command is the local one shell-quoted, with the remote
+    interpreter (default ``python3``) substituted; ``BatchMode=yes``
+    keeps a dead or passwordless-misconfigured host from hanging the
+    coordinator on a prompt — it fails fast and the retry/backoff policy
+    takes over, same as any worker death.
+    """
+
+    def __init__(self, host: str, python: str = "python3") -> None:
+        super().__init__(python=python)
+        if not host:
+            raise ValueError("ssh executor needs a host (ssh://host)")
+        self.host = host
+
+    def command(self, sweep_args: Sequence[str]) -> list[str]:
+        remote = super().command(sweep_args)
+        return ["ssh", "-o", "BatchMode=yes", self.host, shlex.join(remote)]
+
+
+def make_executor(spec: str, python: str | None = None) -> Executor:
+    """Map a CLI executor spec to an instance.
+
+    ``local`` (the default) or ``ssh://host``; anything else raises
+    ``ValueError`` so the CLI can report it as a usage error.
+    """
+    if spec == "local":
+        return LocalExecutor(python=python)
+    if spec.startswith("ssh://"):
+        return SSHExecutor(spec[len("ssh://"):], python=python or "python3")
+    raise ValueError(f"unknown executor {spec!r} (expected 'local' or 'ssh://host')")

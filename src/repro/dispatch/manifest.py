@@ -1,0 +1,157 @@
+"""Crash-safe coordinator state: the ``dispatch.json`` manifest.
+
+The manifest is the dispatcher's single source of truth about shard
+progress.  It records the grid fingerprint (so a resume cannot silently
+run against a different selection), the shard layout (hash spec or
+explicit cost-packed membership), and each shard's lifecycle state.
+Every state change is persisted with an atomic write-temp-then-rename,
+so a coordinator killed at any instant leaves either the previous or the
+next manifest on disk — never a torn one — and ``dispatch --resume``
+picks up exactly where the crash happened: ``done`` shards are skipped
+(their documents reload from the shard dirs), ``running`` shards demote
+to ``pending`` (their journals make the rerun incremental).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from .. import __version__
+from ..rand import stable_label_hash
+
+__all__ = ["DispatchError", "Manifest", "ShardState", "grid_fingerprint"]
+
+#: Shard lifecycle states, in order of progress.
+_STATUSES = ("pending", "running", "done", "failed")
+
+
+class DispatchError(RuntimeError):
+    """A dispatch that cannot proceed (bad manifest, exhausted retries, ...)."""
+
+
+def grid_fingerprint(
+    scenario_names: Sequence[str], reps: int, label: str
+) -> int:
+    """A stable fingerprint of the dispatched grid and its run settings.
+
+    Depends only on the scenario names (order-sensitive: grid order is
+    part of the document contract), the replication count, and the
+    document label — the things a resumed dispatch must agree on for its
+    merged document to mean anything.
+    """
+    return stable_label_hash(("dispatch", reps, label, *scenario_names))
+
+
+@dataclass
+class ShardState:
+    """One shard's slice of the grid and its lifecycle state."""
+
+    shard_id: int  # 1-based, stable across resumes
+    scenarios: list[str]  # member scenario names, in grid order
+    spec: str | None = None  # "k/M" hash spec; None for cost-packed shards
+    status: str = "pending"
+    attempts: int = 0  # worker launches so far (retries included)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "scenarios": self.scenarios,
+            "spec": self.spec,
+            "status": self.status,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ShardState":
+        state = cls(
+            shard_id=int(data["shard_id"]),
+            scenarios=list(data["scenarios"]),
+            spec=data.get("spec"),
+            status=data.get("status", "pending"),
+            attempts=int(data.get("attempts", 0)),
+        )
+        if state.status not in _STATUSES:
+            raise DispatchError(f"manifest has unknown shard status {state.status!r}")
+        return state
+
+
+@dataclass
+class Manifest:
+    """The dispatcher's persistent state (``dispatch.json``)."""
+
+    path: Path
+    fingerprint: int
+    reps: int
+    label: str
+    assignment: str  # "hash" | "weighted"
+    shards: list[ShardState] = field(default_factory=list)
+    complete: bool = False
+
+    def save(self) -> None:
+        """Persist atomically: write a temp file, fsync, rename over."""
+        document = {
+            "version": __version__,
+            "fingerprint": self.fingerprint,
+            "reps": self.reps,
+            "label": self.label,
+            "assignment": self.assignment,
+            "complete": self.complete,
+            "shards": [s.to_json() for s in self.shards],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".json.tmp")
+        with tmp.open("w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(self.path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Manifest":
+        """Load a manifest, rejecting other package versions outright."""
+        p = Path(path)
+        try:
+            document = json.loads(p.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DispatchError(f"cannot read manifest {p}: {exc}") from exc
+        if document.get("version") != __version__:
+            raise DispatchError(
+                f"manifest {p} was written by version "
+                f"{document.get('version')!r}, this package is {__version__!r}; "
+                "start a fresh dispatch"
+            )
+        return cls(
+            path=p,
+            fingerprint=int(document["fingerprint"]),
+            reps=int(document["reps"]),
+            label=document["label"],
+            assignment=document["assignment"],
+            shards=[ShardState.from_json(s) for s in document["shards"]],
+            complete=bool(document.get("complete", False)),
+        )
+
+    def check_resumable(self, fingerprint: int) -> None:
+        """Reject a resume whose grid/settings differ from the original."""
+        if fingerprint != self.fingerprint:
+            raise DispatchError(
+                "dispatch --resume selection does not match the manifest "
+                "(grid, --reps, or --label changed); start a fresh dispatch "
+                "or re-run with the original flags"
+            )
+
+    def reset_interrupted(self) -> None:
+        """Demote shards the dead coordinator left ``running`` to ``pending``.
+
+        Their worker processes died with the coordinator; the shard
+        journals survive, so the rerun replays completed work.
+        Permanently ``failed`` shards also get a fresh chance — a resume
+        is an operator saying "try again".
+        """
+        for shard in self.shards:
+            if shard.status in ("running", "failed"):
+                shard.status = "pending"

@@ -1,0 +1,100 @@
+"""Live progress: tailing shard journals back to the coordinator.
+
+Workers already journal every completed scenario (and, under
+replication, every completed rep) to their shard's ``journal.jsonl`` —
+the crash-recovery log.  The dispatcher reuses that same file as its
+progress stream: a :class:`JournalTail` incrementally reads complete
+lines as the worker appends them, so the coordinator reports
+per-scenario progress live without any side channel, extra IPC, or
+worker cooperation beyond what resume already requires.
+
+Torn tails are first-class here too: a worker killed mid-append leaves a
+final line without a newline; the tail never consumes bytes past the
+last newline, so the partial line is simply not surfaced until (and
+unless) it completes.  Journal truncation (a fresh, non-resume worker
+attempt reopening the journal in ``"w"`` mode) rewinds the tail.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["JournalTail", "ShardProgress"]
+
+
+class JournalTail:
+    """Incremental reader of one shard's ``journal.jsonl``."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Entries appended since the last poll (complete lines only).
+
+        Undecodable complete lines (interior corruption) are skipped,
+        matching ``Journal``'s replay policy; an incomplete final line is
+        left unconsumed for the next poll.  A shrunk file (the worker
+        truncated and restarted the journal) resets the tail to the
+        start so nothing is missed.
+        """
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if size < self._offset:
+                    self._offset = 0  # journal was truncated: re-read
+                handle.seek(self._offset)
+                data = handle.read()
+        except OSError:
+            return []  # journal not created yet (worker still starting)
+        complete, sep, _rest = data.rpartition(b"\n")
+        if not sep:
+            return []
+        self._offset += len(complete) + len(sep)
+        entries = []
+        for line in complete.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        return entries
+
+
+class ShardProgress:
+    """Per-shard completion counters fed by a :class:`JournalTail`.
+
+    Tracks which scenarios (not reps) have completed, deduplicating
+    across worker restarts — a resumed worker rewrites its journal, so
+    the same scenario can stream past the tail more than once.
+    """
+
+    def __init__(self, shard_id: int, path: str | Path, total: int) -> None:
+        self.shard_id = shard_id
+        self.total = total
+        self.tail = JournalTail(path)
+        self.done: set[str] = set()
+
+    def poll(self) -> Iterator[str]:
+        """Progress messages for journal growth since the last poll."""
+        for entry in self.tail.poll():
+            name = entry.get("scenario")
+            if name is None:
+                continue
+            if "rep" in entry:
+                yield (
+                    f"[shard {self.shard_id}] {name} "
+                    f"rep {int(entry['rep']) + 1}/{entry.get('reps', '?')}"
+                )
+                continue
+            if name in self.done:
+                continue  # journal rewrite on worker resume
+            self.done.add(name)
+            yield (
+                f"[shard {self.shard_id}] done {name} "
+                f"({len(self.done)}/{self.total})"
+            )

@@ -21,11 +21,13 @@ from .bench import (
     rand_comparison,
     transport_comparison,
 )
-from .results import results_table, write_results
+from .results import build_document, results_table, write_results
 from .runner import (
+    aggregate_reps,
     build_partition,
     build_workload,
     run_scenario,
+    run_scenario_rep,
     run_scenario_reps,
     sweep,
 )
@@ -42,6 +44,7 @@ from .sharding import (
     MergeError,
     load_shard_document,
     merge_documents,
+    pack_shards,
     parse_shard_spec,
     shard_index,
     shard_scenarios,
@@ -53,7 +56,9 @@ __all__ = [
     "MergeError",
     "PROTOCOLS",
     "Scenario",
+    "aggregate_reps",
     "backend_comparison",
+    "build_document",
     "build_partition",
     "build_workload",
     "default_scenarios",
@@ -61,11 +66,13 @@ __all__ = [
     "load_shard_document",
     "medium_workload",
     "merge_documents",
+    "pack_shards",
     "parse_shard_spec",
     "profile_hotspots",
     "rand_comparison",
     "results_table",
     "run_scenario",
+    "run_scenario_rep",
     "run_scenario_reps",
     "shard_index",
     "shard_scenarios",

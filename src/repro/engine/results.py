@@ -24,7 +24,7 @@ from typing import Any, Sequence
 from .. import __version__
 from ..analysis.tables import format_markdown_table, format_table
 
-__all__ = ["results_table", "write_results"]
+__all__ = ["build_document", "results_table", "write_results"]
 
 #: Per-run noise excluded from canonical documents (mirrors
 #: ``runner.VOLATILE_KEYS``; kept literal here so results stays import-light).
@@ -60,6 +60,29 @@ def _canonical(record: dict[str, Any]) -> dict[str, Any]:
     return {k: v for k, v in record.items() if k not in _VOLATILE_KEYS}
 
 
+def build_document(
+    results: Sequence[dict[str, Any]], shard: str | None = None
+) -> dict[str, Any]:
+    """The canonical sweep document for a record list.
+
+    Exactly what :func:`write_results` serializes: canonical records
+    (volatile keys stripped) wrapped with the package version and
+    headline counts.  The dispatcher's tree merge uses this to wrap
+    intermediate partial merges in the same shape as shard documents, so
+    every fold goes back through :func:`merge_documents` unchanged.
+    """
+    document: dict[str, Any] = {
+        "version": __version__,
+        "count": len(results),
+        "all_valid": all(bool(r.get("valid")) for r in results),
+        "transports": sorted({r.get("transport", "lockstep") for r in results}),
+        "results": [_canonical(r) for r in results],
+    }
+    if shard is not None:
+        document["shard"] = shard
+    return document
+
+
 def write_results(
     results: Sequence[dict[str, Any]],
     out_dir: str | Path,
@@ -77,15 +100,7 @@ def write_results(
     out.mkdir(parents=True, exist_ok=True)
     json_path = out / f"{label}.json"
     md_path = out / f"{label}.md"
-    document: dict[str, Any] = {
-        "version": __version__,
-        "count": len(results),
-        "all_valid": all(bool(r.get("valid")) for r in results),
-        "transports": sorted({r.get("transport", "lockstep") for r in results}),
-        "results": [_canonical(r) for r in results],
-    }
-    if shard is not None:
-        document["shard"] = shard
+    document = build_document(results, shard=shard)
     json_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     md_path.write_text(results_table(results, markdown=True) + "\n")
     return json_path, md_path

@@ -23,7 +23,7 @@ import os
 import time
 from dataclasses import replace
 from functools import lru_cache
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 from ..graphs import EdgePartition, Graph, PARTITIONERS
 from ..rand import derived_random
@@ -31,9 +31,11 @@ from .scenarios import FAMILIES, PROTOCOLS, Scenario
 from .sharding import Journal
 
 __all__ = [
+    "aggregate_reps",
     "build_partition",
     "build_workload",
     "run_scenario",
+    "run_scenario_rep",
     "run_scenario_reps",
     "sweep",
 ]
@@ -109,7 +111,18 @@ def run_scenario(scenario: Scenario) -> dict[str, Any]:
 VOLATILE_KEYS = ("wall_time_s",)
 
 
-def run_scenario_reps(scenario: Scenario, reps: int = 1) -> dict[str, Any]:
+def run_scenario_rep(scenario: Scenario, rep: int) -> dict[str, Any]:
+    """Execute one replication (0-based ``rep``) of a scenario.
+
+    Rep 0 runs under the scenario's own seed, so an unreplicated sweep
+    and replication 0 of a replicated one are the same record.
+    """
+    return run_scenario(replace(scenario, seed=scenario.rep_seed(rep)))
+
+
+def run_scenario_reps(
+    scenario: Scenario, reps: int = 1, journal: "Journal | None" = None
+) -> dict[str, Any]:
     """Execute ``reps`` independent replications and aggregate the metrics.
 
     ``reps == 1`` is exactly :func:`run_scenario`.  Otherwise each rep
@@ -117,15 +130,39 @@ def run_scenario_reps(scenario: Scenario, reps: int = 1) -> dict[str, Any]:
     protocol tape per rep — and the record carries every numeric metric
     as its across-rep mean, with full mean/std/CI summaries under
     ``"metrics"``.  ``valid`` is the conjunction over reps.
+
+    With a ``journal``, each finished rep is journaled immediately and
+    reps already journaled (a ``--resume`` replay of a crash
+    mid-replication) are reused instead of rerun; the caller still
+    journals the aggregate through the usual scenario-level append.
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
     if reps == 1:
         return run_scenario(scenario)
-    records = [
-        run_scenario(replace(scenario, seed=scenario.rep_seed(r)))
-        for r in range(reps)
-    ]
+    replayed = journal.partial.get(scenario.name, {}) if journal is not None else {}
+    records = []
+    for r in range(reps):
+        record = replayed.get(r)
+        if record is None:
+            record = run_scenario_rep(scenario, r)
+            if journal is not None:
+                journal.append_rep(scenario.name, r, record)
+        records.append(record)
+    return aggregate_reps(scenario, records)
+
+
+def aggregate_reps(
+    scenario: Scenario, records: Sequence[dict[str, Any]]
+) -> dict[str, Any]:
+    """Reduce per-rep records (in rep order) to the scenario's aggregate.
+
+    Pure function of the records, so aggregating freshly-run reps,
+    journal-replayed reps, or pool-collected reps yields identical
+    aggregates — the property rep-level resume and the dispatcher lean
+    on.
+    """
+    reps = len(records)
     from ..analysis.stats import summarize  # deferred: numpy only when replicating
 
     base = records[0]
@@ -160,10 +197,10 @@ def run_scenario_reps(scenario: Scenario, reps: int = 1) -> dict[str, Any]:
     return aggregated
 
 
-def _rep_worker(task: tuple[Scenario, int]) -> dict[str, Any]:
-    """Picklable pool entry point for ``imap`` (one (scenario, reps) task)."""
-    scenario, reps = task
-    return run_scenario_reps(scenario, reps)
+def _rep_worker(task: tuple[Scenario, int]) -> tuple[str, int, dict[str, Any]]:
+    """Picklable pool entry point for ``imap`` (one (scenario, rep) task)."""
+    scenario, rep = task
+    return scenario.name, rep, run_scenario_rep(scenario, rep)
 
 
 def sweep(
@@ -179,13 +216,15 @@ def sweep(
     for single-core machines and debugging (no pickling, real tracebacks).
     Results come back in scenario order regardless of execution mode.
 
-    The pool path streams completions through ``pool.imap_unordered``
-    (explicit chunksize), so ``progress`` fires and ``journal`` grows the
-    moment each scenario finishes — no head-of-line blocking behind a
-    slow scenario, which is what makes mid-sweep crash recovery lose at
-    most the work in flight.  Scenarios already in ``journal.completed``
-    (a ``--resume`` replay) are not re-run; their journaled records fill
-    the result list, which always comes back in scenario order.
+    The pool path streams (scenario, rep) completions through
+    ``pool.imap_unordered`` (explicit chunksize), so ``progress`` fires
+    and ``journal`` grows the moment each unit of work finishes — no
+    head-of-line blocking behind a slow scenario, which is what makes
+    mid-sweep crash recovery lose at most the rep in flight.  Scenarios
+    already in ``journal.completed`` (a ``--resume`` replay) are not
+    re-run, and under replication neither are journaled reps of
+    partially-finished scenarios; replayed records fill the result list,
+    which always comes back in scenario order.
     """
     scenario_list = list(scenarios)
     if reps < 1:
@@ -206,15 +245,62 @@ def sweep(
 
     if jobs <= 1 or len(pending) <= 1:
         for scenario in pending:
-            record_completion(scenario, run_scenario_reps(scenario, reps))
+            record_completion(
+                scenario, run_scenario_reps(scenario, reps, journal=journal)
+            )
     else:
-        workers = min(jobs, len(pending))
-        chunksize = max(1, len(pending) // (workers * 4))
-        tasks = [(scenario, reps) for scenario in pending]
+        # Fan out at rep granularity: each pool task is one (scenario,
+        # rep) run, aggregated on the coordinator side once all of a
+        # scenario's reps are in.  Aggregation order is pinned to rep
+        # order, so pool sweeps match serial sweeps bit for bit.
         by_name = {scenario.name: scenario for scenario in pending}
-        with multiprocessing.Pool(processes=workers) as pool:
-            for record in pool.imap_unordered(
-                _rep_worker, tasks, chunksize=chunksize
-            ):
-                record_completion(by_name[record["scenario"]], record)
+        rep_records: dict[str, dict[int, dict[str, Any]]] = {}
+        tasks: list[tuple[Scenario, int]] = []
+        for scenario in pending:
+            replayed = (
+                journal.partial.get(scenario.name, {})
+                if journal is not None and reps > 1
+                else {}
+            )
+            rep_records[scenario.name] = dict(replayed)
+            tasks.extend(
+                (scenario, r) for r in range(reps) if r not in replayed
+            )
+
+        def complete_rep(name: str, rep: int, record: dict[str, Any]) -> None:
+            scenario = by_name[name]
+            if reps == 1:
+                record_completion(scenario, record)
+                return
+            collected = rep_records[name]
+            if rep not in collected:
+                collected[rep] = record
+                if journal is not None:
+                    journal.append_rep(name, rep, record)
+            if len(collected) == reps:
+                record_completion(
+                    scenario,
+                    aggregate_reps(scenario, [collected[r] for r in range(reps)]),
+                )
+
+        # Scenarios whose reps were all journaled (a crash between the
+        # last rep and the aggregate append) need no tasks — aggregate
+        # them up front.
+        for scenario in pending:
+            if reps > 1 and len(rep_records[scenario.name]) == reps:
+                record_completion(
+                    scenario,
+                    aggregate_reps(
+                        scenario,
+                        [rep_records[scenario.name][r] for r in range(reps)],
+                    ),
+                )
+        if tasks:
+            workers = min(jobs, len(tasks))
+            chunksize = max(1, len(tasks) // (workers * 4))
+            with multiprocessing.Pool(processes=workers) as pool:
+                for name, rep, record in pool.imap_unordered(
+                    _rep_worker, tasks, chunksize=chunksize
+                ):
+                    complete_rep(name, rep, record)
     return [results_by_name[s.name] for s in scenario_list]

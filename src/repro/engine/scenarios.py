@@ -146,6 +146,23 @@ class Scenario:
         """The family parameters as a plain dict."""
         return dict(self.params)
 
+    def cost_hint(self) -> float:
+        """A dimensionless ~n·d work estimate for shard balancing.
+
+        Protocol runtime scales roughly with the number of edge
+        endpoints, so the hint is the family's vertex count times its
+        typical degree.  The estimate only has to *rank* scenarios — the
+        cost-weighted packer (:func:`repro.engine.pack_shards`) uses it
+        greedily — so crude per-family formulas are fine; an unknown
+        family falls back to a unit cost, which degrades packing to
+        round-robin rather than failing.
+        """
+        p = self.param_dict()
+        try:
+            return float(_COST_HINTS[self.family](p))
+        except (KeyError, TypeError):
+            return 1.0
+
     def with_backend(self, backend: str) -> "Scenario":
         """The same scenario coordinate on another graph backend."""
         return replace(self, backend=backend)
@@ -222,6 +239,22 @@ FAMILIES: dict[str, Callable[..., Graph]] = {
     "power_law": _family_power_law,
     "c4_gadgets": _family_c4_gadgets,
     "barbell": _family_barbell,
+}
+
+
+#: ~n·d work estimates per family (vertices × typical degree), feeding
+#: :meth:`Scenario.cost_hint`.  Each takes the family's param dict.
+_COST_HINTS: dict[str, Callable[[dict[str, Any]], float]] = {
+    "regular": lambda p: p["n"] * p["d"],
+    "gnp": lambda p: p["n"] * max(1.0, p["n"] * p["p"]),
+    "bipartite_regular": lambda p: 2 * p["half"] * p["d"],
+    "hypercube": lambda p: (1 << p["dimension"]) * p["dimension"],
+    "grid": lambda p: p["rows"] * p["cols"] * 4,
+    "complete": lambda p: p["n"] * (p["n"] - 1),
+    "caterpillar": lambda p: p["spine"] * (p["legs"] + 1) * (p["legs"] + 2),
+    "power_law": lambda p: p["n"] * p["max_degree"],
+    "c4_gadgets": lambda p: p["count"] * 8,
+    "barbell": lambda p: p["k"] * (p["leaves"] + p["k"]),
 }
 
 

@@ -24,8 +24,10 @@ composition):
 
 * **Merge** — :func:`merge_documents` combines per-shard ``sweep.json``
   documents into the records of the equivalent unsharded sweep.  It
-  verifies the shards pairwise-disjoint (duplicate coordinates are an
-  error), drawn from the expected grid (unknown coordinates and seed
+  verifies overlapping coordinates byte-identical (conflicting
+  duplicates are an error; identical ones merge idempotently, so
+  re-dispatched stragglers are harmless), the records drawn from the
+  expected grid (unknown coordinates and seed
   mismatches are errors), written by this package version, and — with
   ``check_complete`` — that the union covers the whole grid.  Records
   come back in grid order, so re-rendering through
@@ -51,6 +53,7 @@ __all__ = [
     "MergeError",
     "load_shard_document",
     "merge_documents",
+    "pack_shards",
     "parse_shard_spec",
     "shard_index",
     "shard_scenarios",
@@ -107,43 +110,83 @@ def shard_scenarios(
     return [s for s in scenarios if shard_index(s.name, count) == index - 1]
 
 
+def pack_shards(
+    scenarios: Sequence["Scenario"], count: int
+) -> list[list["Scenario"]]:
+    """Cost-weighted shard packing: greedy longest-processing-time.
+
+    Scenarios are ranked by :meth:`Scenario.cost_hint` (ties broken by
+    name so the packing is deterministic) and each is assigned to the
+    currently lightest shard, so wildly uneven grids — one n=1024
+    coordinate next to a dozen toy ones — come out balanced instead of
+    landing wherever the hash sends them.  Unlike :func:`shard_index`,
+    the assignment depends on the whole grid, so it is for dispatchers
+    that carry explicit shard membership (``sweep --scenario-file``),
+    not for coordination-free CI matrixes.  Returns ``count`` lists that
+    partition the grid, each in grid order; shards may be empty when the
+    grid is smaller than ``count``.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    order = {s.name: i for i, s in enumerate(scenarios)}
+    ranked = sorted(scenarios, key=lambda s: (-s.cost_hint(), s.name))
+    loads = [0.0] * count
+    shards: list[list["Scenario"]] = [[] for _ in range(count)]
+    for scenario in ranked:
+        lightest = min(range(count), key=lambda k: (loads[k], k))
+        loads[lightest] += scenario.cost_hint()
+        shards[lightest].append(scenario)
+    return [sorted(shard, key=lambda s: order[s.name]) for shard in shards]
+
+
 # ---------------------------------------------------------------------------
 # journal
 # ---------------------------------------------------------------------------
 
 
 class Journal:
-    """Append-only JSONL journal of completed scenario records.
+    """Append-only JSONL journal of completed scenario (and rep) records.
 
     One line per completed scenario::
 
         {"record": {...}, "reps": 1, "scenario": "<name>", "version": "1.1.0"}
 
+    Replicated sweeps (``reps > 1``) additionally journal one line per
+    completed *(scenario, rep)* pair — the same shape plus a 0-based
+    ``"rep"`` key — before the scenario's aggregate line, so a crash
+    mid-replication resumes by replaying the finished reps instead of
+    rerunning the whole coordinate.  Rep lines for a scenario that also
+    has an aggregate line are redundant and dropped on rewrite.
+
     ``resume=False`` truncates any existing journal (a fresh sweep);
     ``resume=True`` replays it first, exposing prior completions through
-    :attr:`completed` so the runner skips them.  Lines from another
-    package version or rep count are stale and ignored, as is a torn
-    line left by a crash mid-append.  A resume *rewrites* the journal
-    with only the surviving entries before appending — a torn tail never
-    becomes an interior corruption that later appends would concatenate
-    onto.  Appends are flushed per record so the journal never trails
-    the sweep by more than the scenario in flight.
+    :attr:`completed` (and partial replications through :attr:`partial`)
+    so the runner skips them.  Lines from another package version or rep
+    count are stale and ignored, as is a torn line left by a crash
+    mid-append.  A resume *rewrites* the journal with only the surviving
+    entries before appending — a torn tail never becomes an interior
+    corruption that later appends would concatenate onto.  Appends are
+    flushed per record so the journal never trails the sweep by more
+    than the scenario (or rep) in flight.
     """
 
     def __init__(self, path: str | Path, resume: bool = False, reps: int = 1) -> None:
         self.path = Path(path)
         self.reps = reps
         self.completed: dict[str, dict[str, Any]] = {}
+        self.partial: dict[str, dict[int, dict[str, Any]]] = {}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if resume and self.path.exists():
-            self.completed = self._replay()
+            self._replay()
         self._file = self.path.open("w")
         for name, record in self.completed.items():
             self._write_entry(name, record)
+        for name in sorted(self.partial):
+            for rep in sorted(self.partial[name]):
+                self._write_entry(name, self.partial[name][rep], rep=rep)
         self._file.flush()
 
-    def _replay(self) -> dict[str, Any]:
-        completed: dict[str, dict[str, Any]] = {}
+    def _replay(self) -> None:
         for line in self.path.read_text().splitlines():
             if not line.strip():
                 continue
@@ -153,16 +196,25 @@ class Journal:
                 continue  # torn by a crash mid-write; later lines may be fine
             if entry.get("version") != __version__ or entry.get("reps") != self.reps:
                 continue
-            completed[entry["scenario"]] = entry["record"]
-        return completed
+            name = entry["scenario"]
+            if "rep" in entry:
+                self.partial.setdefault(name, {})[int(entry["rep"])] = entry["record"]
+            else:
+                self.completed[name] = entry["record"]
+        for name in self.completed:
+            self.partial.pop(name, None)
 
-    def _write_entry(self, name: str, record: dict[str, Any]) -> None:
+    def _write_entry(
+        self, name: str, record: dict[str, Any], rep: int | None = None
+    ) -> None:
         entry = {
             "record": record,
             "reps": self.reps,
             "scenario": name,
             "version": __version__,
         }
+        if rep is not None:
+            entry["rep"] = rep
         self._file.write(json.dumps(entry, sort_keys=True) + "\n")
 
     def append(self, name: str, record: dict[str, Any]) -> None:
@@ -170,6 +222,13 @@ class Journal:
         self._write_entry(name, record)
         self._file.flush()
         self.completed[name] = record
+        self.partial.pop(name, None)
+
+    def append_rep(self, name: str, rep: int, record: dict[str, Any]) -> None:
+        """Record one completed replication of a scenario (flushed)."""
+        self._write_entry(name, record, rep=rep)
+        self._file.flush()
+        self.partial.setdefault(name, {})[rep] = record
 
     def close(self) -> None:
         self._file.close()
@@ -190,6 +249,11 @@ class MergeError(ValueError):
     """A shard union that cannot reproduce the unsharded sweep."""
 
 
+def _canonical_bytes(record: dict[str, Any]) -> str:
+    """A record's canonical serialization (for byte-identity comparison)."""
+    return json.dumps(record, sort_keys=True)
+
+
 def load_shard_document(path: str | Path, label: str = "sweep") -> dict[str, Any]:
     """Load one shard's sweep document from a JSON file or a results dir."""
     p = Path(path)
@@ -207,11 +271,16 @@ def merge_documents(
 
     ``expected`` is the full scenario grid the shards were cut from (the
     same selection the shard sweeps ran with, minus ``--shard``).  Raises
-    :class:`MergeError` on a version mismatch, a duplicate or unknown
-    coordinate, a seed that disagrees with the grid's deterministic
-    per-coordinate seed, shards swept under different ``--reps``, or —
-    with ``check_complete`` — a missing coordinate.  Returns the records in grid order, ready for
-    :func:`repro.engine.write_results`.
+    :class:`MergeError` on a version mismatch, a *conflicting* duplicate
+    or an unknown coordinate, a seed that disagrees with the grid's
+    deterministic per-coordinate seed, shards swept under different
+    ``--reps``, or — with ``check_complete`` — a missing coordinate.
+    Duplicate coordinates whose records are byte-identical are merged
+    idempotently (the repeat is dropped): documents are canonical
+    functions of the grid, so a re-dispatched straggler that overlaps
+    the shard it replaced cannot poison the merge — only a record that
+    *disagrees* can, and that one still raises.  Returns the records in
+    grid order, ready for :func:`repro.engine.write_results`.
     """
     expected_by_name = {s.name: s for s in expected}
     seen: dict[str, dict[str, Any]] = {}
@@ -226,7 +295,12 @@ def merge_documents(
         for record in document.get("results", ()):
             name = record.get("scenario")
             if name in seen:
-                raise MergeError(f"duplicate coordinate across shards: {name}")
+                if _canonical_bytes(record) == _canonical_bytes(seen[name]):
+                    continue  # idempotent overlap (e.g. straggler re-dispatch)
+                raise MergeError(
+                    f"conflicting duplicate coordinate across shards: {name} "
+                    "(overlapping records must be byte-identical)"
+                )
             scenario = expected_by_name.get(name)
             if scenario is None:
                 raise MergeError(

@@ -213,9 +213,9 @@ def test_journal_resume_skips_completed(tmp_path, monkeypatch):
     executed = []
     original = run_scenario_reps
 
-    def tracking(scenario, reps=1):
+    def tracking(scenario, reps=1, journal=None):
         executed.append(scenario.name)
-        return original(scenario, reps)
+        return original(scenario, reps, journal=journal)
 
     monkeypatch.setattr(runner_module, "run_scenario_reps", tracking)
     with Journal(path, resume=True) as journal:
@@ -273,6 +273,88 @@ def test_journal_resume_never_appends_onto_torn_tail(tmp_path):
     assert [e["scenario"] for e in parsed] == ["a", "b"]
 
 
+def _canonical(rows):
+    return [{k: v for k, v in r.items() if k != "wall_time_s"} for r in rows]
+
+
+def test_rep_journal_resume_replays_completed_reps(tmp_path, monkeypatch):
+    grid = _tiny_grid()[:2]
+    path = tmp_path / "journal.jsonl"
+    with Journal(path) as journal:
+        baseline = sweep(grid, jobs=1, reps=3, journal=journal)
+    lines = path.read_text().splitlines()
+    # Per scenario: one line per finished rep, then the aggregate.
+    assert [json.loads(line).get("rep") for line in lines] == [
+        0, 1, 2, None, 0, 1, 2, None,
+    ]
+
+    # Crash mid-replication: scenario 1 fully aggregated, scenario 2 has
+    # journaled reps 0 and 1 but neither rep 2 nor its aggregate.
+    path.write_text("\n".join(lines[:6]) + "\n")
+    executed = []
+    original = runner_module.run_scenario_rep
+
+    def tracking(scenario, rep):
+        executed.append((scenario.name, rep))
+        return original(scenario, rep)
+
+    monkeypatch.setattr(runner_module, "run_scenario_rep", tracking)
+    with Journal(path, resume=True) as journal:
+        assert set(journal.completed) == {grid[0].name}
+        assert sorted(journal.partial[grid[1].name]) == [0, 1]
+        resumed = sweep(grid, jobs=1, reps=3, journal=journal)
+
+    # Only the one missing rep ran; reps 0 and 1 were replayed.
+    assert executed == [(grid[1].name, 2)]
+    assert _canonical(resumed) == _canonical(baseline)
+    # The rewrite dropped rep lines of completed scenarios (the aggregate
+    # supersedes them) and the resumed run completed scenario 2.
+    final = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [(e["scenario"], e.get("rep")) for e in final] == [
+        (grid[0].name, None),
+        (grid[1].name, 0),
+        (grid[1].name, 1),
+        (grid[1].name, 2),
+        (grid[1].name, None),
+    ]
+
+
+def test_pool_rep_sweep_matches_serial_and_journals_reps(tmp_path):
+    grid = _tiny_grid()
+    serial = sweep(grid, jobs=1, reps=2)
+    path = tmp_path / "journal.jsonl"
+    with Journal(path) as journal:
+        pooled = sweep(grid, jobs=2, reps=2, journal=journal)
+    assert _canonical(pooled) == _canonical(serial)
+    entries = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(entries) == len(grid) * 3
+    for scenario in grid:
+        mine = [e.get("rep") for e in entries if e["scenario"] == scenario.name]
+        assert sorted(mine, key=lambda r: (r is None, r)) == [0, 1, None]
+
+
+def test_pool_resume_mid_reps_replays_partial_scenarios(tmp_path):
+    grid = _tiny_grid()
+    path = tmp_path / "journal.jsonl"
+    with Journal(path) as journal:
+        baseline = sweep(grid, jobs=1, reps=2, journal=journal)
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(grid) * 3
+    # Crash leaving: scenarios 0-3 aggregated, scenario 4 with both reps
+    # journaled but no aggregate (died between last rep and aggregate),
+    # scenario 5 not started.
+    path.write_text("\n".join(lines[: 4 * 3 + 2]) + "\n")
+    with Journal(path, resume=True) as journal:
+        assert len(journal.completed) == 4
+        assert sorted(journal.partial[grid[4].name]) == [0, 1]
+        resumed = sweep(grid, jobs=2, reps=2, journal=journal)
+    assert _canonical(resumed) == _canonical(baseline)
+    final = [json.loads(line) for line in path.read_text().splitlines()]
+    # Every scenario ends aggregated after the resume.
+    aggregated = [e["scenario"] for e in final if "rep" not in e]
+    assert sorted(aggregated) == sorted(s.name for s in grid)
+
+
 # ---------------------------------------------------------------------------
 # merge verification
 # ---------------------------------------------------------------------------
@@ -304,11 +386,24 @@ def test_merge_rejects_version_mismatch():
         merge_documents([document], grid)
 
 
-def test_merge_rejects_duplicate_coordinate():
+def test_merge_accepts_identical_duplicates():
+    # Overlapping shards with byte-identical records merge idempotently
+    # (a re-dispatched straggler may overlap the shard it replaced).
     grid = [_tiny("edge_zero_comm")]
     (document,) = _shard_documents(grid, count=1)
-    with pytest.raises(MergeError, match="duplicate"):
-        merge_documents([document, document], grid)
+    merged = merge_documents([document, document], grid, check_complete=True)
+    assert [r["scenario"] for r in merged] == [grid[0].name]
+
+
+def test_merge_rejects_conflicting_duplicate():
+    grid = [_tiny("edge_zero_comm")]
+    (document,) = _shard_documents(grid, count=1)
+    conflicting = json.loads(json.dumps(document))
+    conflicting["results"][0]["total_bits"] = (
+        document["results"][0]["total_bits"] + 1
+    )
+    with pytest.raises(MergeError, match="conflicting duplicate"):
+        merge_documents([document, conflicting], grid)
 
 
 def test_merge_rejects_unknown_coordinate():
