@@ -24,7 +24,8 @@ from . import analysis, baselines, coloring, comm, core, graphs, lowerbound, ran
 
 __version__ = "1.1.0"
 
-from . import engine  # noqa: E402  (needs core/graphs imported first)
+from . import obs  # noqa: E402  (needs comm imported first)
+from . import engine  # noqa: E402  (needs core/graphs/obs imported first)
 
 __all__ = [
     "analysis",
@@ -35,6 +36,7 @@ __all__ = [
     "engine",
     "graphs",
     "lowerbound",
+    "obs",
     "rand",
     "verify",
     "__version__",

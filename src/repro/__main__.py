@@ -42,8 +42,20 @@ Subcommands:
     path; with ``--profile``, emit cProfile's top functions for that
     path.  ``--json`` writes the rows to a machine-readable file.
 
+``trace``
+    Summarize or convert a trace file produced by ``--trace``: aggregate
+    span and per-phase tables, ``--chrome`` export to Chrome
+    ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``),
+    ``--json`` for the machine-readable summary, ``--check`` to fail on
+    schema violations.
+
 ``list-scenarios``
     Print the scenario names a sweep would run, without running them.
+
+``sweep``, ``dispatch``, and ``bench`` all accept ``--trace PATH`` /
+``--metrics PATH`` to install an observer for the run.  Observability is
+strictly out-of-band: the canonical result documents are byte-identical
+with and without it.
 """
 
 from __future__ import annotations
@@ -52,6 +64,7 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from contextlib import nullcontext
 from pathlib import Path
 
 from .analysis.tables import format_table
@@ -73,10 +86,48 @@ from .engine import (
     transport_comparison,
     write_results,
 )
+from .obs import (
+    observing,
+    read_trace,
+    summarize_phases,
+    summarize_spans,
+    to_chrome,
+    validate_trace,
+)
 
 __all__ = ["main"]
 
 _TRANSPORT_CHOICES = ("lockstep", "count", "strict")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--metrics`` observability flags."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a span/event trace (flushed JSONL) to PATH; summarize "
+            "or convert it later with `repro trace` — canonical outputs "
+            "are byte-identical with or without this flag"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a metrics JSON document (counters/gauges/histograms, "
+            "comm telemetry, wall times) to PATH on exit"
+        ),
+    )
+
+
+def _obs_context(args: argparse.Namespace):
+    """An ``observing(...)`` context when either flag was given, else a no-op."""
+    if args.trace is None and args.metrics is None:
+        return nullcontext()
+    return observing(trace=args.trace, metrics=args.metrics)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -171,6 +222,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="basename of the result documents (default: sweep)",
     )
+    _add_obs_flags(sweep_p)
 
     merge_p = sub.add_parser(
         "merge", help="combine shard sweep.json documents into one"
@@ -338,6 +390,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "it has journaled a scenario, to prove the kill+resume path"
         ),
     )
+    _add_obs_flags(dispatch_p)
 
     bench_p = sub.add_parser(
         "bench", help="compare graph backends (or comm transports)"
@@ -411,6 +464,43 @@ def _build_parser() -> argparse.ArgumentParser:
             "--compare-transports the Theorem 1 pooled-count-vs-"
             "pre-pooling-baseline speedup — the CI regression guards"
         ),
+    )
+    bench_p.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "(with --compare-transports) fail (exit 1) if running the "
+            "Theorem 1 count path with observability enabled costs more "
+            "than PCT%% over the disabled path — the obs overhead ceiling"
+        ),
+    )
+    _add_obs_flags(bench_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="summarize or convert a --trace file"
+    )
+    trace_p.add_argument("path", metavar="TRACE", help="trace JSONL file")
+    trace_p.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write Chrome trace_event JSON to PATH (load in Perfetto or "
+            "chrome://tracing)"
+        ),
+    )
+    trace_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the aggregate span/phase summary to PATH as JSON",
+    )
+    trace_p.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if the trace violates the span schema",
     )
 
     list_p = sub.add_parser("list-scenarios", help="print scenario names")
@@ -519,13 +609,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             return 0
         label = f" (shard {shard})" if shard else ""
         print(f"running {len(scenarios)} scenarios{label} ...")
-        results = sweep(
-            scenarios,
-            jobs=args.jobs,
-            progress=lambda msg: print(f"  {msg}", flush=True),
-            reps=args.reps,
-            journal=journal,
-        )
+        with _obs_context(args):
+            results = sweep(
+                scenarios,
+                jobs=args.jobs,
+                progress=lambda event: print(f"  {event}", flush=True),
+                reps=args.reps,
+                journal=journal,
+            )
     finally:
         journal.close()
     print(results_table(results))
@@ -639,7 +730,8 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         f"{config.workers} workers, executor {args.executor}) ..."
     )
     try:
-        records, json_path, md_path = coordinator.run()
+        with _obs_context(args):
+            records, json_path, md_path = coordinator.run()
     except DispatchError as exc:
         print(f"dispatch failed: {exc}", file=sys.stderr)
         return 1
@@ -683,6 +775,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.max_obs_overhead is not None and not args.compare_transports:
+        print(
+            "error: --max-obs-overhead only applies to "
+            "--compare-transports (the observability overhead ceiling)",
+            file=sys.stderr,
+        )
+        return 2
     if (args.rand or args.profile) and args.transport != "lockstep":
         mode = "--rand" if args.rand else "--profile"
         print(
@@ -695,9 +794,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.rand:
         degree = args.degree if args.degree is not None else 8
         try:
-            rows = rand_comparison(
-                n=args.n, d=degree, seed=args.seed, repeat=args.repeat
-            )
+            with _obs_context(args):
+                rows = rand_comparison(
+                    n=args.n, d=degree, seed=args.seed, repeat=args.repeat
+                )
         except ValueError as exc:
             print(f"error: infeasible workload: {exc}", file=sys.stderr)
             return 2
@@ -784,9 +884,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         degree = args.degree if args.degree is not None else 10
         try:
-            rows = transport_comparison(
-                n=args.n, d=degree, seed=args.seed, repeat=args.repeat
-            )
+            with _obs_context(args):
+                rows = transport_comparison(
+                    n=args.n, d=degree, seed=args.seed, repeat=args.repeat
+                )
         except ValueError as exc:
             print(f"error: infeasible workload: {exc}", file=sys.stderr)
             return 2
@@ -860,17 +961,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"regression guard: pooled speedup {speedup:.2f}x >= "
                 f"{args.min_speedup:.2f}x floor"
             )
+        if args.max_obs_overhead is not None:
+            if baseline is None or "obs_overhead" not in baseline:
+                print(
+                    "error: no Theorem 1 observability row to guard",
+                    file=sys.stderr,
+                )
+                return 2
+            overhead = baseline["obs_overhead"] * 100.0
+            if overhead > args.max_obs_overhead:
+                print(
+                    f"REGRESSION: enabled-observer overhead {overhead:.1f}% "
+                    f"on Theorem 1 exceeds the "
+                    f"{args.max_obs_overhead:.1f}% ceiling",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"obs overhead guard: {overhead:.1f}% <= "
+                f"{args.max_obs_overhead:.1f}% ceiling "
+                "(disabled path is guarded by the pooled-speedup floor)"
+            )
         return 0
 
     degree = args.degree if args.degree is not None else 8
     try:
-        rows = backend_comparison(
-            n=args.n,
-            d=degree,
-            seed=args.seed,
-            repeat=args.repeat,
-            transport=args.transport,
-        )
+        with _obs_context(args):
+            rows = backend_comparison(
+                n=args.n,
+                d=degree,
+                seed=args.seed,
+                repeat=args.repeat,
+                transport=args.transport,
+            )
     except ValueError as exc:
         print(f"error: infeasible workload: {exc}", file=sys.stderr)
         return 2
@@ -899,6 +1022,80 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    entries = read_trace(path)
+    if not entries:
+        print(f"error: {path} contains no trace entries", file=sys.stderr)
+        return 2
+    problems = validate_trace(entries)
+    for problem in problems:
+        print(f"trace schema: {problem}", file=sys.stderr)
+    if args.check and problems:
+        return 1
+    spans = summarize_spans(entries)
+    if spans:
+        print(
+            format_table(
+                ["span", "count", "total (s)", "mean (s)", "max (s)"],
+                [
+                    [
+                        s["span"],
+                        str(s["count"]),
+                        f"{s['total_s']:.6f}",
+                        f"{s['mean_s']:.6f}",
+                        f"{s['max_s']:.6f}",
+                    ]
+                    for s in spans
+                ],
+                title=f"span summary — {path.name}",
+            )
+        )
+    phases = summarize_phases(entries)
+    if phases:
+        print(
+            format_table(
+                ["protocol", "phase", "runs", "bits", "rounds"],
+                [
+                    [
+                        p["protocol"],
+                        p["phase"],
+                        str(p["runs"]),
+                        str(p["bits"]),
+                        str(p["rounds"]),
+                    ]
+                    for p in phases
+                ],
+                title="per-phase communication (from phase instant events)",
+            )
+        )
+    if args.chrome:
+        chrome_path = Path(args.chrome)
+        chrome_path.parent.mkdir(parents=True, exist_ok=True)
+        chrome_path.write_text(
+            json.dumps(to_chrome(entries), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote Chrome trace_event JSON to {chrome_path}")
+    if args.json:
+        json_path = Path(args.json)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(
+            json.dumps(
+                {"spans": spans, "phases": phases, "problems": problems},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote trace summary JSON to {json_path}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     try:
         scenarios, _ = _apply_shard(_select_scenarios(args), args.shard)
@@ -919,6 +1116,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_merge(args)
     if args.command == "dispatch":
         return _cmd_dispatch(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "list-scenarios":

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from . import telemetry as _telemetry
+
 __all__ = ["BatchMsg", "EMPTY_MSG", "Msg", "intern_msg"]
 
 
@@ -100,13 +102,19 @@ def intern_msg(nbits: int, payload: Any = None) -> Msg:
     """
     if payload is None:
         if 0 <= nbits < _SILENT_LIMIT:
+            if _telemetry.enabled:
+                _telemetry.intern_hits += 1
             return _SILENT[nbits]
     elif (
         type(payload) is int
         and 0 <= nbits <= _INT_BITS_LIMIT
         and 0 <= payload <= _INT_VALUE_LIMIT
     ):
+        if _telemetry.enabled:
+            _telemetry.intern_hits += 1
         return _INT_MSGS[nbits][payload]
+    if _telemetry.enabled:
+        _telemetry.intern_misses += 1
     return Msg(nbits, payload)
 
 

@@ -1,0 +1,74 @@
+"""Gated hot-path counters for the comm layer.
+
+The comm hot loops (``intern_msg`` on the lockstep wire, the pooled
+``parallel`` driver on the count wire) are the paths the bench guards
+protect, so they cannot afford observer indirection — not even a method
+call — per event.  This module is the compromise: a handful of bare
+module-level integers behind a single ``enabled`` flag.  The
+instrumented sites read ``telemetry.enabled`` (one attribute load and a
+branch) and, only when observability is on, bump the counters in place.
+Disabled, the added cost is that one predictable branch; nothing is
+allocated either way.
+
+``repro.obs`` owns the lifecycle: :func:`repro.obs.observing` calls
+:func:`reset` + :func:`enable` on entry and folds :func:`snapshot` into
+the metrics document on exit.  This module deliberately imports nothing
+from :mod:`repro.obs` (or anywhere else), so the comm layer stays
+dependency-free and import-light.
+
+The counters are per-process.  Sweep worker processes bump their own
+copies, which die with the worker — by design: observability documents
+describe the observing (coordinator) process, and canonical artifacts
+never read these values at all.
+"""
+
+from __future__ import annotations
+
+__all__ = ["disable", "enable", "enabled", "reset", "snapshot"]
+
+#: Master switch read inline by the instrumented comm sites.
+enabled = False
+
+#: ``intern_msg`` calls served from the shared intern tables.
+intern_hits = 0
+#: ``intern_msg`` calls that fell back to a fresh ``Msg`` allocation.
+intern_misses = 0
+#: ``parallel`` batch buffers checked out of a channel's freelist.
+pool_reused = 0
+#: ``parallel`` batch buffers freshly allocated (freelist empty/short).
+pool_allocated = 0
+
+
+def enable() -> None:
+    """Turn the comm counters on (idempotent)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn the comm counters off (idempotent); values are kept."""
+    global enabled
+    enabled = False
+
+
+def reset() -> None:
+    """Zero every counter (does not touch ``enabled``)."""
+    global intern_hits, intern_misses, pool_reused, pool_allocated
+    intern_hits = 0
+    intern_misses = 0
+    pool_reused = 0
+    pool_allocated = 0
+
+
+def snapshot() -> dict[str, float]:
+    """The counters as a plain dict, plus the derived intern hit rate."""
+    served = intern_hits + intern_misses
+    data: dict[str, float] = {
+        "intern_hits": intern_hits,
+        "intern_misses": intern_misses,
+        "pool_reused": pool_reused,
+        "pool_allocated": pool_allocated,
+    }
+    if served:
+        data["intern_hit_rate"] = round(intern_hits / served, 6)
+    return data

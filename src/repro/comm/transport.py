@@ -73,6 +73,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Generator, Hashable, Iterator, Mapping, Tuple
 
+from . import telemetry as _telemetry
 from .codecs import Codec, verify_declared_cost
 from .ledger import Transcript
 from .messages import EMPTY_MSG, BatchMsg, Msg, intern_msg
@@ -395,6 +396,12 @@ class CountChannel(Channel):
         live_keys: list[Hashable] = []
         live_gens: list[Generator] = []
         pool = self._pool
+        if _telemetry.enabled:
+            # One gated branch per parallel() invocation (not per round):
+            # how many of the two checkout buffers came off the freelist.
+            available = min(len(pool), 2)
+            _telemetry.pool_reused += available
+            _telemetry.pool_allocated += 2 - available
         outgoing = pool.pop() if pool else _CountBatch()
         spare = pool.pop() if pool else _CountBatch()
         for key, spec in subprotocols.items():

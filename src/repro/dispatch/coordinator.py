@@ -51,6 +51,7 @@ from ..engine import (
     shard_scenarios,
     write_results,
 )
+from ..obs import get_observer
 from .executors import Executor, WorkerHandle
 from .manifest import DispatchError, Manifest, ShardState, grid_fingerprint
 from .progress import ShardProgress
@@ -249,6 +250,15 @@ class Coordinator:
             self.shard_dir(shard.shard_id) / "worker.log",
         )
         self.launches += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.count("dispatch.launches")
+            obs.event(
+                "shard_launched",
+                shard=shard.shard_id,
+                attempt=shard.attempts,
+                scenarios=len(shard.scenarios),
+            )
         self.progress(
             f"[shard {shard.shard_id}] launched attempt {shard.attempts} "
             f"({len(shard.scenarios)} scenarios)"
@@ -354,6 +364,15 @@ class Coordinator:
                         self.manifest.save()
                         self.tree.add(document)
                         merged += 1
+                        obs = get_observer()
+                        if obs.enabled:
+                            obs.count("dispatch.shards_merged")
+                            obs.event(
+                                "shard_merged",
+                                shard=shard_id,
+                                merged=merged,
+                                folds=self.tree.merges,
+                            )
                         self.progress(
                             f"[shard {shard_id}] merged "
                             f"({merged}/{total_shards} shards, "
@@ -379,6 +398,12 @@ class Coordinator:
                 handle.kill()
 
         records = self.tree.finish(check_complete=True)
+        obs = get_observer()
+        if obs.enabled:
+            obs.gauge("dispatch.shards", len(self.manifest.shards))
+            obs.gauge("dispatch.worker_launches", self.launches)
+            obs.gauge("dispatch.merge_folds", self.tree.merges)
+            obs.gauge("dispatch.merge_tree_depth", len(self.tree.levels))
         json_path, md_path = write_results(
             records, self.out_dir, label=self.config.label
         )
@@ -408,6 +433,14 @@ class Coordinator:
         self.manifest.save()
         eligible_at[shard.shard_id] = time.monotonic() + delay
         pending.append(shard)
+        obs = get_observer()
+        if obs.enabled:
+            obs.count("dispatch.retries")
+            if why == "straggler timeout":
+                obs.count("dispatch.straggler_kills")
+            obs.event(
+                "shard_retry", shard=shard.shard_id, why=why, delay=delay
+            )
         self.progress(
             f"[shard {shard.shard_id}] {why}; retry {failures}/"
             f"{self.config.retries} in {delay:.1f}s (journal-resumed)"

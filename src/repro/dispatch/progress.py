@@ -78,6 +78,18 @@ class ShardProgress:
         self.total = total
         self.tail = JournalTail(path)
         self.done: set[str] = set()
+        # Live rate estimate from entry-level "elapsed" values (sweeps
+        # journal one per completed unit of work).  Entries without the
+        # field — replays, or journals from older workers — simply do
+        # not contribute, and the messages stay timing-free.
+        self._elapsed_sum = 0.0
+        self._elapsed_n = 0
+
+    def _rate(self) -> str:
+        """A ``", X.XXs/unit"`` suffix once any timed entries arrived."""
+        if not self._elapsed_n:
+            return ""
+        return f", {self._elapsed_sum / self._elapsed_n:.2f}s/unit"
 
     def poll(self) -> Iterator[str]:
         """Progress messages for journal growth since the last poll."""
@@ -85,10 +97,21 @@ class ShardProgress:
             name = entry.get("scenario")
             if name is None:
                 continue
+            elapsed = entry.get("elapsed")
+            timing = ""
+            if isinstance(elapsed, (int, float)):
+                # A scenario-level entry under replication carries the
+                # summed rep time; only single-unit entries feed the
+                # per-unit rate so the estimate never double-counts.
+                if "rep" in entry or entry.get("reps", 1) == 1:
+                    self._elapsed_sum += float(elapsed)
+                    self._elapsed_n += 1
+                timing = f" ({float(elapsed):.2f}s{self._rate()})"
             if "rep" in entry:
                 yield (
                     f"[shard {self.shard_id}] {name} "
                     f"rep {int(entry['rep']) + 1}/{entry.get('reps', '?')}"
+                    f"{timing}"
                 )
                 continue
             if name in self.done:
@@ -96,5 +119,5 @@ class ShardProgress:
             self.done.add(name)
             yield (
                 f"[shard {self.shard_id}] done {name} "
-                f"({len(self.done)}/{self.total})"
+                f"({len(self.done)}/{self.total}){timing}"
             )

@@ -23,6 +23,7 @@ from .bench import (
 )
 from .results import build_document, results_table, write_results
 from .runner import (
+    SweepEvent,
     aggregate_reps,
     build_partition,
     build_workload,
@@ -56,6 +57,7 @@ __all__ = [
     "MergeError",
     "PROTOCOLS",
     "Scenario",
+    "SweepEvent",
     "aggregate_reps",
     "backend_comparison",
     "build_document",

@@ -6,13 +6,16 @@ document with metadata) and ``<out>/sweep.md`` (the human-readable table,
 rendered through :mod:`repro.analysis.tables` so numbers format exactly
 like the benchmark console output).
 
-``sweep.json`` is *canonical*: volatile per-run keys (wall time) are
-stripped from every record, so the document is a pure function of the
-scenario grid and the package version.  That is what lets a serial sweep
-and the merged union of an N-way sharded sweep compare bit for bit —
-the distributed-execution invariant ``repro merge`` relies on.  Wall
-times still appear in the console/markdown tables, where humans read
-them.
+``sweep.json`` is *canonical*: records carry no volatile per-run data
+(wall time lives out-of-band in :data:`repro.obs.metrics.WALL_CLOCK`),
+so the document is a pure function of the scenario grid and the package
+version.  That is what lets a serial sweep and the merged union of an
+N-way sharded sweep compare bit for bit — the distributed-execution
+invariant ``repro merge`` relies on.  Wall times still appear in the
+console/markdown tables, where humans read them: the ``secs`` column is
+filled from the wall-clock store for scenarios this process actually ran
+and left blank otherwise (a merge or dispatch coordinator ran nothing
+itself).
 """
 
 from __future__ import annotations
@@ -23,11 +26,14 @@ from typing import Any, Sequence
 
 from .. import __version__
 from ..analysis.tables import format_markdown_table, format_table
+from ..obs.metrics import WALL_CLOCK, WallClock
 
 __all__ = ["build_document", "results_table", "write_results"]
 
-#: Per-run noise excluded from canonical documents (mirrors
-#: ``runner.VOLATILE_KEYS``; kept literal here so results stays import-light).
+#: Volatile keys stripped defensively from records entering canonical
+#: documents.  The runner no longer produces any (wall time is
+#: out-of-band), but the guard stays so a future in-record addition can
+#: never silently break merge determinism.
 _VOLATILE_KEYS = ("wall_time_s",)
 
 _COLUMNS = (
@@ -39,16 +45,29 @@ _COLUMNS = (
     ("total_bits", "bits"),
     ("rounds", "rounds"),
     ("valid", "valid"),
-    ("wall_time_s", "secs"),
 )
 
 
 def results_table(
-    results: Sequence[dict[str, Any]], markdown: bool = False
+    results: Sequence[dict[str, Any]],
+    markdown: bool = False,
+    timings: WallClock | None = None,
 ) -> str:
-    """Render sweep records as an aligned console or markdown table."""
-    headers = [label for _, label in _COLUMNS]
-    rows = [[record.get(key, "") for key, _ in _COLUMNS] for record in results]
+    """Render sweep records as an aligned console or markdown table.
+
+    The ``secs`` column reads from ``timings`` (default: the process
+    wall-clock store) — this run's measured wall time per scenario,
+    blank for records this process replayed or merged rather than ran.
+    """
+    clock = WALL_CLOCK if timings is None else timings
+    headers = [label for _, label in _COLUMNS] + ["secs"]
+    rows = []
+    for record in results:
+        total = clock.total(str(record.get("scenario", "")))
+        rows.append(
+            [record.get(key, "") for key, _ in _COLUMNS]
+            + [total if total is not None else ""]
+        )
     title = f"sweep results ({len(results)} scenarios)"
     if markdown:
         return format_markdown_table(headers, rows, title=title)

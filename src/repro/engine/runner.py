@@ -11,9 +11,19 @@ sharding, and the serial/parallel execution mode.
 Replication (``reps > 1``) runs each scenario under ``rep_seed``-derived
 seeds — independent workload *and* protocol randomness per rep — and
 aggregates the numeric metrics (mean / stddev / 95% CI) through
-:func:`repro.analysis.stats.summarize`.  Wall time stays a volatile
-side-channel: it is summed, never aggregated into the canonical metrics,
-so replicated sweeps remain bit-for-bit reproducible.
+:func:`repro.analysis.stats.summarize`.
+
+Wall time never touches the records at all: every run reports its
+elapsed seconds to :data:`repro.obs.metrics.WALL_CLOCK` (the out-of-band
+single source of truth the tables read), so canonical documents are a
+pure function of the grid with nothing left to strip.
+
+Observability: each layer of a run opens a span on the installed
+observer — ``sweep`` → ``scenario`` → ``rep`` → ``protocol`` — and
+``progress`` receives structured :class:`SweepEvent` objects (their
+``str()`` is the human-readable line the CLI prints).  With the default
+:class:`~repro.obs.NullObserver`, every span is a shared no-op context;
+none of this runs inside protocol loops.
 """
 
 from __future__ import annotations
@@ -21,16 +31,19 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Any, Callable, Iterable, Sequence
 
 from ..graphs import EdgePartition, Graph, PARTITIONERS
+from ..obs import get_observer
+from ..obs.metrics import WALL_CLOCK
 from ..rand import derived_random
 from .scenarios import FAMILIES, PROTOCOLS, Scenario
 from .sharding import Journal
 
 __all__ = [
+    "SweepEvent",
     "aggregate_reps",
     "build_partition",
     "build_workload",
@@ -82,12 +95,28 @@ def build_partition(scenario: Scenario) -> EdgePartition:
 
 
 def run_scenario(scenario: Scenario) -> dict[str, Any]:
-    """Execute one scenario and return its flat JSON-ready result record."""
+    """Execute one scenario and return its flat JSON-ready result record.
+
+    The record is canonical — a pure function of the scenario
+    coordinate.  Elapsed wall time goes to :data:`WALL_CLOCK` (and, when
+    an observer is installed, to the ``sweep.wall_time_s`` histogram),
+    never into the record.
+    """
     partition = build_partition(scenario)
     adapter = PROTOCOLS[scenario.protocol]
+    obs = get_observer()
     start = time.perf_counter()
-    metrics = adapter.run(partition, scenario.effective_seed, scenario.transport)
+    with obs.span(
+        "protocol",
+        scenario=scenario.name,
+        protocol=scenario.protocol,
+        transport=scenario.transport,
+    ):
+        metrics = adapter.run(partition, scenario.effective_seed, scenario.transport)
     elapsed = time.perf_counter() - start
+    WALL_CLOCK.record(scenario.name, elapsed)
+    if obs.enabled:
+        obs.observe("sweep.wall_time_s", elapsed)
     record: dict[str, Any] = {
         "scenario": scenario.name,
         "protocol": scenario.protocol,
@@ -99,16 +128,10 @@ def run_scenario(scenario: Scenario) -> dict[str, Any]:
         "n": partition.n,
         "m": partition.graph.m,
         "max_degree": partition.max_degree,
-        "wall_time_s": round(elapsed, 6),
     }
     record.update(metrics)
     record["params"] = scenario.param_dict()
     return record
-
-
-#: Keys that vary run to run and must never enter canonical documents or
-#: replication aggregates (results.py strips them from sweep.json).
-VOLATILE_KEYS = ("wall_time_s",)
 
 
 def run_scenario_rep(scenario: Scenario, rep: int) -> dict[str, Any]:
@@ -117,11 +140,15 @@ def run_scenario_rep(scenario: Scenario, rep: int) -> dict[str, Any]:
     Rep 0 runs under the scenario's own seed, so an unreplicated sweep
     and replication 0 of a replicated one are the same record.
     """
-    return run_scenario(replace(scenario, seed=scenario.rep_seed(rep)))
+    with get_observer().span("rep", scenario=scenario.name, rep=rep):
+        return run_scenario(replace(scenario, seed=scenario.rep_seed(rep)))
 
 
 def run_scenario_reps(
-    scenario: Scenario, reps: int = 1, journal: "Journal | None" = None
+    scenario: Scenario,
+    reps: int = 1,
+    journal: "Journal | None" = None,
+    on_rep: Callable[[int, dict[str, Any], float | None], None] | None = None,
 ) -> dict[str, Any]:
     """Execute ``reps`` independent replications and aggregate the metrics.
 
@@ -135,21 +162,31 @@ def run_scenario_reps(
     reps already journaled (a ``--resume`` replay of a crash
     mid-replication) are reused instead of rerun; the caller still
     journals the aggregate through the usual scenario-level append.
+    ``on_rep(rep, record, elapsed)`` fires after each *freshly run* rep
+    (not for replays) — the hook :func:`sweep` uses to surface per-rep
+    progress events.
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
-    if reps == 1:
-        return run_scenario(scenario)
-    replayed = journal.partial.get(scenario.name, {}) if journal is not None else {}
-    records = []
-    for r in range(reps):
-        record = replayed.get(r)
-        if record is None:
-            record = run_scenario_rep(scenario, r)
-            if journal is not None:
-                journal.append_rep(scenario.name, r, record)
-        records.append(record)
-    return aggregate_reps(scenario, records)
+    with get_observer().span("scenario", scenario=scenario.name, reps=reps):
+        if reps == 1:
+            record = run_scenario(scenario)
+            if on_rep is not None:
+                on_rep(0, record, WALL_CLOCK.last(scenario.name))
+            return record
+        replayed = journal.partial.get(scenario.name, {}) if journal is not None else {}
+        records = []
+        for r in range(reps):
+            record = replayed.get(r)
+            if record is None:
+                record = run_scenario_rep(scenario, r)
+                elapsed = WALL_CLOCK.last(scenario.name)
+                if journal is not None:
+                    journal.append_rep(scenario.name, r, record, elapsed=elapsed)
+                if on_rep is not None:
+                    on_rep(r, record, elapsed)
+            records.append(record)
+        return aggregate_reps(scenario, records)
 
 
 def aggregate_reps(
@@ -173,7 +210,7 @@ def aggregate_reps(
     }
     metrics: dict[str, dict[str, float]] = {}
     for key, value in base.items():
-        if key in VOLATILE_KEYS or key == "seed":
+        if key == "seed":
             continue
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue
@@ -193,28 +230,77 @@ def aggregate_reps(
     aggregated["rep_seeds"] = [scenario.rep_seed(r) for r in range(reps)]
     aggregated["valid"] = all(bool(r.get("valid")) for r in records)
     aggregated["metrics"] = metrics
-    aggregated["wall_time_s"] = round(sum(r["wall_time_s"] for r in records), 6)
     return aggregated
 
 
-def _rep_worker(task: tuple[Scenario, int]) -> tuple[str, int, dict[str, Any]]:
-    """Picklable pool entry point for ``imap`` (one (scenario, rep) task)."""
+@dataclass(frozen=True)
+class SweepEvent:
+    """One structured progress notification from :func:`sweep`.
+
+    ``kind`` is ``"rep"`` (one replication finished) or ``"scenario"``
+    (a scenario's record — aggregate, under replication — is complete).
+    ``elapsed`` is the unit's freshly measured wall seconds, ``None``
+    when the unit was replayed from a journal rather than run.
+    ``completed``/``total`` count scenarios (reps roll up into their
+    scenario).  ``str(event)`` is the human-readable progress line, so
+    any print-style consumer keeps working.
+    """
+
+    kind: str
+    scenario: str
+    reps: int
+    ok: bool
+    completed: int
+    total: int
+    rep: int | None = None
+    elapsed: float | None = None
+
+    def __str__(self) -> str:
+        timing = f", {self.elapsed:.2f}s" if self.elapsed is not None else ""
+        flag = "" if self.ok else " INVALID"
+        if self.kind == "rep":
+            return (
+                f"{self.scenario} rep {int(self.rep or 0) + 1}/{self.reps}"
+                f"{f' ({self.elapsed:.2f}s)' if self.elapsed is not None else ''}"
+                f"{flag}"
+            )
+        return (
+            f"done {self.scenario} ({self.completed}/{self.total}{timing}){flag}"
+        )
+
+
+def _rep_worker(
+    task: tuple[Scenario, int]
+) -> tuple[str, int, dict[str, Any], float | None]:
+    """Picklable pool entry point for ``imap`` (one (scenario, rep) task).
+
+    Returns the rep's elapsed seconds out-of-band so the coordinator can
+    re-home the timing into its own :data:`WALL_CLOCK` — worker
+    processes (and their wall-clock stores) die with the pool.
+    """
     scenario, rep = task
-    return scenario.name, rep, run_scenario_rep(scenario, rep)
+    record = run_scenario_rep(scenario, rep)
+    return scenario.name, rep, record, WALL_CLOCK.last(scenario.name)
 
 
 def sweep(
     scenarios: Iterable[Scenario],
     jobs: int | None = None,
-    progress: Callable[[str], None] | None = None,
+    progress: Callable[[SweepEvent], None] | None = None,
     reps: int = 1,
     journal: Journal | None = None,
 ) -> list[dict[str, Any]]:
     """Run scenarios, fanning out over a process pool when ``jobs > 1``.
 
     ``jobs`` defaults to the machine's CPU count.  The serial path is kept
-    for single-core machines and debugging (no pickling, real tracebacks).
-    Results come back in scenario order regardless of execution mode.
+    for single-core machines and debugging (no pickling, real tracebacks);
+    it is also the path that produces full-depth traces, since pool
+    workers cannot write into the coordinator's trace file.  Results come
+    back in scenario order regardless of execution mode.
+
+    ``progress`` receives :class:`SweepEvent` objects — a ``"rep"`` event
+    per freshly finished replication and a ``"scenario"`` event per
+    completed scenario.  Their ``str()`` is the printable progress line.
 
     The pool path streams (scenario, rep) completions through
     ``pool.imap_unordered`` (explicit chunksize), so ``progress`` fires
@@ -231,76 +317,117 @@ def sweep(
         raise ValueError(f"reps must be >= 1, got {reps}")
     if jobs is None:
         jobs = os.cpu_count() or 1
+    obs = get_observer()
+    # Fresh timings for the scenarios this sweep runs: a process that
+    # sweeps twice reports each sweep's own wall time, not a running sum.
+    WALL_CLOCK.discard(s.name for s in scenario_list)
     results_by_name: dict[str, dict[str, Any]] = (
         dict(journal.completed) if journal is not None else {}
     )
     pending = [s for s in scenario_list if s.name not in results_by_name]
+    total = len(scenario_list)
+
+    def emit(kind: str, scenario: Scenario, ok: bool,
+             rep: int | None = None, elapsed: float | None = None) -> None:
+        if progress is not None:
+            progress(
+                SweepEvent(
+                    kind=kind,
+                    scenario=scenario.name,
+                    reps=reps,
+                    ok=ok,
+                    completed=len(results_by_name),
+                    total=total,
+                    rep=rep,
+                    elapsed=elapsed,
+                )
+            )
 
     def record_completion(scenario: Scenario, record: dict[str, Any]) -> None:
         results_by_name[scenario.name] = record
+        elapsed = WALL_CLOCK.total(scenario.name)
         if journal is not None:
-            journal.append(scenario.name, record)
-        if progress is not None:
-            progress(f"done {scenario.name}")
+            journal.append(scenario.name, record, elapsed=elapsed)
+        emit("scenario", scenario, bool(record.get("valid")), elapsed=elapsed)
 
-    if jobs <= 1 or len(pending) <= 1:
-        for scenario in pending:
-            record_completion(
-                scenario, run_scenario_reps(scenario, reps, journal=journal)
-            )
-    else:
-        # Fan out at rep granularity: each pool task is one (scenario,
-        # rep) run, aggregated on the coordinator side once all of a
-        # scenario's reps are in.  Aggregation order is pinned to rep
-        # order, so pool sweeps match serial sweeps bit for bit.
-        by_name = {scenario.name: scenario for scenario in pending}
-        rep_records: dict[str, dict[int, dict[str, Any]]] = {}
-        tasks: list[tuple[Scenario, int]] = []
-        for scenario in pending:
-            replayed = (
-                journal.partial.get(scenario.name, {})
-                if journal is not None and reps > 1
-                else {}
-            )
-            rep_records[scenario.name] = dict(replayed)
-            tasks.extend(
-                (scenario, r) for r in range(reps) if r not in replayed
-            )
-
-        def complete_rep(name: str, rep: int, record: dict[str, Any]) -> None:
-            scenario = by_name[name]
-            if reps == 1:
-                record_completion(scenario, record)
-                return
-            collected = rep_records[name]
-            if rep not in collected:
-                collected[rep] = record
-                if journal is not None:
-                    journal.append_rep(name, rep, record)
-            if len(collected) == reps:
-                record_completion(
-                    scenario,
-                    aggregate_reps(scenario, [collected[r] for r in range(reps)]),
+    with obs.span("sweep", scenarios=total, reps=reps, jobs=jobs):
+        if jobs <= 1 or len(pending) <= 1:
+            for scenario in pending:
+                on_rep = (
+                    (lambda r, rec, el, s=scenario:
+                     emit("rep", s, bool(rec.get("valid")), rep=r, elapsed=el))
+                    if reps > 1
+                    else None
                 )
-
-        # Scenarios whose reps were all journaled (a crash between the
-        # last rep and the aggregate append) need no tasks — aggregate
-        # them up front.
-        for scenario in pending:
-            if reps > 1 and len(rep_records[scenario.name]) == reps:
                 record_completion(
                     scenario,
-                    aggregate_reps(
-                        scenario,
-                        [rep_records[scenario.name][r] for r in range(reps)],
+                    run_scenario_reps(
+                        scenario, reps, journal=journal, on_rep=on_rep
                     ),
                 )
-        if tasks:
-            workers = min(jobs, len(tasks))
-            chunksize = max(1, len(tasks) // (workers * 4))
-            with multiprocessing.Pool(processes=workers) as pool:
-                for name, rep, record in pool.imap_unordered(
-                    _rep_worker, tasks, chunksize=chunksize
-                ):
-                    complete_rep(name, rep, record)
+        else:
+            # Fan out at rep granularity: each pool task is one (scenario,
+            # rep) run, aggregated on the coordinator side once all of a
+            # scenario's reps are in.  Aggregation order is pinned to rep
+            # order, so pool sweeps match serial sweeps bit for bit.
+            by_name = {scenario.name: scenario for scenario in pending}
+            rep_records: dict[str, dict[int, dict[str, Any]]] = {}
+            tasks: list[tuple[Scenario, int]] = []
+            for scenario in pending:
+                replayed = (
+                    journal.partial.get(scenario.name, {})
+                    if journal is not None and reps > 1
+                    else {}
+                )
+                rep_records[scenario.name] = dict(replayed)
+                tasks.extend(
+                    (scenario, r) for r in range(reps) if r not in replayed
+                )
+
+            def complete_rep(
+                name: str, rep: int, record: dict[str, Any],
+                elapsed: float | None,
+            ) -> None:
+                scenario = by_name[name]
+                if elapsed is not None:
+                    # Re-home the worker's timing on the coordinator.
+                    WALL_CLOCK.record(name, elapsed)
+                if reps == 1:
+                    record_completion(scenario, record)
+                    return
+                collected = rep_records[name]
+                if rep not in collected:
+                    collected[rep] = record
+                    if journal is not None:
+                        journal.append_rep(name, rep, record, elapsed=elapsed)
+                    emit("rep", scenario, bool(record.get("valid")),
+                         rep=rep, elapsed=elapsed)
+                if len(collected) == reps:
+                    record_completion(
+                        scenario,
+                        aggregate_reps(
+                            scenario, [collected[r] for r in range(reps)]
+                        ),
+                    )
+
+            # Scenarios whose reps were all journaled (a crash between the
+            # last rep and the aggregate append) need no tasks — aggregate
+            # them up front.
+            for scenario in pending:
+                if reps > 1 and len(rep_records[scenario.name]) == reps:
+                    record_completion(
+                        scenario,
+                        aggregate_reps(
+                            scenario,
+                            [rep_records[scenario.name][r] for r in range(reps)],
+                        ),
+                    )
+            if tasks:
+                workers = min(jobs, len(tasks))
+                chunksize = max(1, len(tasks) // (workers * 4))
+                with multiprocessing.Pool(processes=workers) as pool:
+                    for name, rep, record, elapsed in pool.imap_unordered(
+                        _rep_worker, tasks, chunksize=chunksize
+                    ):
+                        complete_rep(name, rep, record, elapsed)
     return [results_by_name[s.name] for s in scenario_list]

@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Iterator
 
+from ..obs import get_observer
 from ..rand import stable_label_hash
 from ..comm.transport import TRANSPORTS
 from ..core.edge_coloring import (
@@ -277,8 +278,21 @@ class ProtocolAdapter:
     run: Callable[..., dict[str, Any]] = field(repr=False)
 
 
+def _observe_result(protocol: str, result) -> None:
+    """Report a finished run's transcript to the installed observer.
+
+    Post-hoc and scenario-granular: reads the ledger the run produced
+    anyway, so the protocol loops carry no instrumentation at all and
+    the disabled path costs one attribute load per scenario run.
+    """
+    obs = get_observer()
+    if obs.enabled:
+        obs.record_transcript(protocol, result.transcript)
+
+
 def _run_vertex(partition, seed: int, transport: str = "lockstep") -> dict[str, Any]:
     result = run_vertex_coloring(partition, seed=seed, transport=transport)
+    _observe_result("vertex", result)
     graph = partition.graph
     return {
         "total_bits": result.total_bits,
@@ -291,6 +305,7 @@ def _run_vertex(partition, seed: int, transport: str = "lockstep") -> dict[str, 
 
 def _run_edge(partition, seed: int, transport: str = "lockstep") -> dict[str, Any]:
     result = run_edge_coloring(partition, transport=transport)
+    _observe_result("edge", result)
     graph = partition.graph
     return {
         "total_bits": result.total_bits,
@@ -304,6 +319,7 @@ def _run_edge_zero_comm(
     partition, seed: int, transport: str = "lockstep"
 ) -> dict[str, Any]:
     result = run_zero_comm_edge_coloring(partition, transport=transport)
+    _observe_result("edge_zero_comm", result)
     graph = partition.graph
     return {
         "total_bits": result.total_bits,

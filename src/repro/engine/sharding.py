@@ -158,6 +158,11 @@ class Journal:
     rerunning the whole coordinate.  Rep lines for a scenario that also
     has an aggregate line are redundant and dropped on rewrite.
 
+    Entries from a live sweep may carry an entry-level ``"elapsed"``
+    (wall seconds for that unit of work) which the dispatcher's journal
+    tail renders as live per-rep rates.  It never appears inside
+    ``"record"`` — records stay canonical — and resume rewrites drop it.
+
     ``resume=False`` truncates any existing journal (a fresh sweep);
     ``resume=True`` replays it first, exposing prior completions through
     :attr:`completed` (and partial replications through :attr:`partial`)
@@ -205,7 +210,11 @@ class Journal:
             self.partial.pop(name, None)
 
     def _write_entry(
-        self, name: str, record: dict[str, Any], rep: int | None = None
+        self,
+        name: str,
+        record: dict[str, Any],
+        rep: int | None = None,
+        elapsed: float | None = None,
     ) -> None:
         entry = {
             "record": record,
@@ -215,18 +224,33 @@ class Journal:
         }
         if rep is not None:
             entry["rep"] = rep
+        if elapsed is not None:
+            # Entry-level only — never inside "record", which must stay a
+            # canonical pure function of the coordinate.  Replay ignores
+            # it; the dispatch journal tail reads it for live rate
+            # display.  Resume rewrites drop it (a replayed entry's
+            # timing describes a previous process, not this one).
+            entry["elapsed"] = round(elapsed, 6)
         self._file.write(json.dumps(entry, sort_keys=True) + "\n")
 
-    def append(self, name: str, record: dict[str, Any]) -> None:
+    def append(
+        self, name: str, record: dict[str, Any], elapsed: float | None = None
+    ) -> None:
         """Record one completed scenario (flushed immediately)."""
-        self._write_entry(name, record)
+        self._write_entry(name, record, elapsed=elapsed)
         self._file.flush()
         self.completed[name] = record
         self.partial.pop(name, None)
 
-    def append_rep(self, name: str, rep: int, record: dict[str, Any]) -> None:
+    def append_rep(
+        self,
+        name: str,
+        rep: int,
+        record: dict[str, Any],
+        elapsed: float | None = None,
+    ) -> None:
         """Record one completed replication of a scenario (flushed)."""
-        self._write_entry(name, record, rep=rep)
+        self._write_entry(name, record, rep=rep, elapsed=elapsed)
         self._file.flush()
         self.partial.setdefault(name, {})[rep] = record
 

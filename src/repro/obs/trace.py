@@ -1,0 +1,329 @@
+"""Span/event tracer: flushed JSONL, nested spans, Chrome export.
+
+One :class:`Tracer` writes one trace file.  The format is line-oriented
+JSON — one event per line, flushed as written, so a crashed or killed
+run leaves a readable trace up to the instant of death (the same
+torn-tail discipline as the sweep journal):
+
+``{"ev": "B", "id": 3, "parent": 2, "name": "rep", "ts": 0.0123, "attrs": {...}}``
+    Span begin.  ``id`` is unique within the trace; ``parent`` is the
+    enclosing open span (absent at top level); ``ts`` is seconds since
+    the tracer was created (monotonic clock).
+``{"ev": "E", "id": 3, "name": "rep", "ts": 0.0456}``
+    Span end.  Spans close LIFO — the span model is a stack, matching
+    the sweep → scenario → rep → protocol nesting the engine emits.
+``{"ev": "I", "parent": 3, "name": "phase", "ts": 0.02, "attrs": {...}}``
+    Instant event (no duration), e.g. one protocol phase's ledger
+    totals, attributed to the enclosing span.
+
+Readers (:func:`read_trace`) tolerate a torn final line and skip
+undecodable interior lines, mirroring ``dispatch.progress.JournalTail``;
+:func:`validate_trace` checks the structural schema (spans nest LIFO,
+ids unique, parents open at emission); :func:`trace_spans` /
+:func:`summarize_spans` / :func:`summarize_phases` aggregate for the
+``repro trace`` CLI; :func:`to_chrome` converts to the Chrome
+``trace_event`` JSON that ``chrome://tracing`` / Perfetto load directly.
+
+Fork safety: a tracer created before a ``multiprocessing`` fork is
+inherited by workers along with its open file handle.  Every write path
+checks the creating PID and turns into a no-op in a child, so worker
+processes can never interleave bytes into the coordinator's trace —
+pool sweeps trace scheduling from the coordinator's vantage point, and
+full protocol-depth traces come from serial (``--jobs 1``) runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Tracer",
+    "read_trace",
+    "summarize_phases",
+    "summarize_spans",
+    "to_chrome",
+    "trace_spans",
+    "validate_trace",
+]
+
+
+class Tracer:
+    """Writes one flushed-JSONL trace file (see the module docstring)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._t0 = clock()
+        self._pid = os.getpid()
+        self._file = self.path.open("w")
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    def _now(self) -> float:
+        return round(self._clock() - self._t0, 6)
+
+    def _emit(self, entry: dict[str, Any]) -> None:
+        if self._file.closed:
+            return  # closed mid-span: spans unwinding after close stay quiet
+        self._file.write(
+            json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._file.flush()
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Open a nested span for the duration of the ``with`` block."""
+        if os.getpid() != self._pid:
+            yield  # forked child: never touch the parent's file
+            return
+        span_id = self._next_id
+        self._next_id += 1
+        begin: dict[str, Any] = {"ev": "B", "id": span_id, "name": name,
+                                 "ts": self._now()}
+        if self._stack:
+            begin["parent"] = self._stack[-1]
+        if attrs:
+            begin["attrs"] = attrs
+        self._emit(begin)
+        self._stack.append(span_id)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            self._emit(
+                {"ev": "E", "id": span_id, "name": name, "ts": self._now()}
+            )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit an instant event attributed to the innermost open span."""
+        if os.getpid() != self._pid:
+            return
+        entry: dict[str, Any] = {"ev": "I", "name": name, "ts": self._now()}
+        if self._stack:
+            entry["parent"] = self._stack[-1]
+        if attrs:
+            entry["attrs"] = attrs
+        self._emit(entry)
+
+    def close(self) -> None:
+        """Close the trace file (only in the creating process)."""
+        if os.getpid() == self._pid and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# reading / validation
+# ---------------------------------------------------------------------------
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a trace file's complete lines (torn-tail tolerant).
+
+    Bytes past the last newline (a line torn by a kill mid-write) are
+    ignored, and undecodable complete lines are skipped — the same
+    policy ``JournalTail`` applies to shard journals, so a trace from a
+    killed worker attempt is still loadable.
+    """
+    data = Path(path).read_bytes()
+    complete, sep, _rest = data.rpartition(b"\n")
+    if not sep:
+        return []
+    entries = []
+    for line in complete.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return entries
+
+
+def validate_trace(entries: list[dict[str, Any]]) -> list[str]:
+    """Structural schema check; returns problems (empty list == valid).
+
+    Verifies that span ids are unique, begins carry the then-innermost
+    open span as ``parent``, ends close in LIFO order, instants name an
+    open parent, and — for a trace from a run that finished — every
+    span closed.  A torn tail can legitimately leave spans open, so
+    callers deciding to tolerate that can filter the ``never closed``
+    message.
+    """
+    problems: list[str] = []
+    stack: list[int] = []
+    seen_ids: set[int] = set()
+    for lineno, entry in enumerate(entries, start=1):
+        ev = entry.get("ev")
+        if ev == "B":
+            span_id = entry.get("id")
+            if not isinstance(span_id, int):
+                problems.append(f"line {lineno}: begin without integer id")
+                continue
+            if span_id in seen_ids:
+                problems.append(f"line {lineno}: duplicate span id {span_id}")
+            seen_ids.add(span_id)
+            parent = entry.get("parent")
+            expected = stack[-1] if stack else None
+            if parent != expected:
+                problems.append(
+                    f"line {lineno}: span {span_id} has parent {parent}, "
+                    f"expected {expected}"
+                )
+            stack.append(span_id)
+        elif ev == "E":
+            span_id = entry.get("id")
+            if not stack:
+                problems.append(
+                    f"line {lineno}: end of span {span_id} with no span open"
+                )
+            elif stack[-1] != span_id:
+                problems.append(
+                    f"line {lineno}: span {span_id} ends out of order "
+                    f"(innermost open is {stack[-1]})"
+                )
+                if span_id in stack:
+                    del stack[stack.index(span_id):]
+            else:
+                stack.pop()
+        elif ev == "I":
+            parent = entry.get("parent")
+            if parent is not None and parent not in stack:
+                problems.append(
+                    f"line {lineno}: instant parented to closed span {parent}"
+                )
+        else:
+            problems.append(f"line {lineno}: unknown event kind {ev!r}")
+    if stack:
+        problems.append(
+            f"{len(stack)} spans never closed (ids {stack}) — "
+            "a torn tail, or a run killed mid-span"
+        )
+    return problems
+
+
+def trace_spans(entries: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Pair begin/end events into closed spans (emission order).
+
+    Each span is ``{id, name, parent, start, end, dur, attrs}``.  Spans
+    left open by a torn tail are silently dropped — aggregation only
+    trusts completed measurements.
+    """
+    open_spans: dict[int, dict[str, Any]] = {}
+    spans: list[dict[str, Any]] = []
+    for entry in entries:
+        if entry.get("ev") == "B" and isinstance(entry.get("id"), int):
+            open_spans[entry["id"]] = {
+                "id": entry["id"],
+                "name": entry.get("name", "?"),
+                "parent": entry.get("parent"),
+                "start": float(entry.get("ts", 0.0)),
+                "attrs": entry.get("attrs", {}),
+            }
+        elif entry.get("ev") == "E":
+            span = open_spans.pop(entry.get("id"), None)
+            if span is not None:
+                span["end"] = float(entry.get("ts", span["start"]))
+                span["dur"] = round(span["end"] - span["start"], 6)
+                spans.append(span)
+    return spans
+
+
+def summarize_spans(entries: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Aggregate closed spans by name: count and total/mean/max duration."""
+    by_name: dict[str, list[float]] = {}
+    for span in trace_spans(entries):
+        by_name.setdefault(span["name"], []).append(span["dur"])
+    rows = []
+    for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+        durs = by_name[name]
+        rows.append(
+            {
+                "span": name,
+                "count": len(durs),
+                "total_s": round(sum(durs), 6),
+                "mean_s": round(sum(durs) / len(durs), 6),
+                "max_s": round(max(durs), 6),
+            }
+        )
+    return rows
+
+
+def summarize_phases(entries: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Aggregate ``phase`` instant events by (protocol, phase).
+
+    The engine emits one ``phase`` instant per transcript phase per
+    protocol run, carrying the ledger's bits/rounds for that phase — so
+    this table is the per-phase communication budget across the traced
+    sweep, straight from the measurement instrument.
+    """
+    agg: dict[tuple[str, str], dict[str, int]] = {}
+    for entry in entries:
+        if entry.get("ev") != "I" or entry.get("name") != "phase":
+            continue
+        attrs = entry.get("attrs", {})
+        key = (str(attrs.get("protocol", "?")), str(attrs.get("phase", "?")))
+        bucket = agg.setdefault(key, {"bits": 0, "rounds": 0, "runs": 0})
+        bucket["bits"] += int(attrs.get("bits", 0))
+        bucket["rounds"] += int(attrs.get("rounds", 0))
+        bucket["runs"] += 1
+    return [
+        {"protocol": protocol, "phase": phase, **agg[(protocol, phase)]}
+        for protocol, phase in sorted(agg)
+    ]
+
+
+def to_chrome(entries: list[dict[str, Any]]) -> dict[str, Any]:
+    """Convert to Chrome ``trace_event`` JSON (load in Perfetto).
+
+    Closed spans become complete (``"X"``) events and instants become
+    thread-scoped ``"i"`` events; timestamps are microseconds.  All
+    events share one pid/tid — the tracer is single-threaded by
+    construction, and the viewer reconstructs nesting from durations.
+    """
+    trace_events: list[dict[str, Any]] = []
+    for span in trace_spans(entries):
+        trace_events.append(
+            {
+                "name": span["name"],
+                "cat": "span",
+                "ph": "X",
+                "ts": round(span["start"] * 1e6, 3),
+                "dur": round(span["dur"] * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": span["attrs"],
+            }
+        )
+    for entry in entries:
+        if entry.get("ev") != "I":
+            continue
+        trace_events.append(
+            {
+                "name": entry.get("name", "?"),
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": round(float(entry.get("ts", 0.0)) * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": entry.get("attrs", {}),
+            }
+        )
+    trace_events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -106,12 +106,17 @@ def test_run_scenario_record_shape():
         "rounds",
         "num_colors",
         "valid",
-        "wall_time_s",
         "params",
     ):
         assert key in record, key
     assert record["valid"] is True
     assert record["n"] == 24
+    # Wall-clock time lives in the observability layer, never in the
+    # canonical record (it would break byte-identical merge/verify).
+    assert "wall_time_s" not in record
+    from repro.obs import WALL_CLOCK
+
+    assert WALL_CLOCK.last(record["scenario"]) is not None
 
 
 def test_every_protocol_runs_one_tiny_scenario():
@@ -133,11 +138,9 @@ def test_sweep_parallel_matches_serial():
     scenarios = [_tiny(p) for p in ("vertex", "edge", "edge_zero_comm")]
     serial = sweep(scenarios, jobs=1)
     parallel = sweep(scenarios, jobs=2)
-    # wall times differ; everything else must match exactly.
-    def strip(rows):
-        return [{k: v for k, v in r.items() if k != "wall_time_s"} for r in rows]
-
-    assert strip(serial) == strip(parallel)
+    # Records carry no wall times (those live in repro.obs.WALL_CLOCK),
+    # so serial and pooled sweeps must agree exactly, key for key.
+    assert serial == parallel
 
 
 def test_iter_scenarios_filter_and_backend():

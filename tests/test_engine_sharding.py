@@ -213,9 +213,9 @@ def test_journal_resume_skips_completed(tmp_path, monkeypatch):
     executed = []
     original = run_scenario_reps
 
-    def tracking(scenario, reps=1, journal=None):
+    def tracking(scenario, reps=1, journal=None, on_rep=None):
         executed.append(scenario.name)
-        return original(scenario, reps, journal=journal)
+        return original(scenario, reps, journal=journal, on_rep=on_rep)
 
     monkeypatch.setattr(runner_module, "run_scenario_reps", tracking)
     with Journal(path, resume=True) as journal:

@@ -1,0 +1,186 @@
+"""Tracer unit tests: span nesting, torn tails, validation, export.
+
+The trace file format is the observability contract the ``repro trace``
+CLI and the Chrome export build on, so these tests pin it down at the
+reader/writer level: spans nest LIFO and carry their parent ids, torn
+tails (a killed run's half-written last line) never break the reader,
+and the validator catches every structural violation it promises to.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs import (
+    Tracer,
+    read_trace,
+    summarize_phases,
+    summarize_spans,
+    to_chrome,
+    trace_spans,
+    validate_trace,
+)
+
+
+def _fake_clock(step=0.25):
+    """A deterministic monotonic clock advancing ``step`` per call."""
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+def _nested_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(path, clock=_fake_clock()) as tracer:
+        with tracer.span("sweep", scenarios=2):
+            with tracer.span("scenario", scenario="a"):
+                with tracer.span("protocol", protocol="vertex"):
+                    pass
+                tracer.event("phase", protocol="vertex",
+                             phase="trial", bits=10, rounds=3)
+            with tracer.span("scenario", scenario="b"):
+                tracer.event("phase", protocol="vertex",
+                             phase="trial", bits=5, rounds=2)
+    return path
+
+
+def test_span_nesting_parents_and_validity(tmp_path):
+    entries = read_trace(_nested_trace(tmp_path))
+    assert validate_trace(entries) == []
+    begins = {e["id"]: e for e in entries if e["ev"] == "B"}
+    sweep = next(e for e in begins.values() if e["name"] == "sweep")
+    assert "parent" not in sweep  # top level
+    scenarios = [e for e in begins.values() if e["name"] == "scenario"]
+    assert all(e["parent"] == sweep["id"] for e in scenarios)
+    protocol = next(e for e in begins.values() if e["name"] == "protocol")
+    assert begins[protocol["parent"]]["name"] == "scenario"
+    # Attrs round-trip, and every line is already flushed/parseable JSON.
+    assert sweep["attrs"] == {"scenarios": 2}
+    for line in (tmp_path / "trace.jsonl").read_text().splitlines():
+        json.loads(line)
+
+
+def test_instant_events_attach_to_innermost_open_span(tmp_path):
+    entries = read_trace(_nested_trace(tmp_path))
+    instants = [e for e in entries if e["ev"] == "I"]
+    begins = {e["id"]: e for e in entries if e["ev"] == "B"}
+    assert len(instants) == 2
+    assert all(begins[e["parent"]]["name"] == "scenario" for e in instants)
+
+
+def test_read_trace_tolerates_torn_tail_and_garbage(tmp_path):
+    path = _nested_trace(tmp_path)
+    clean = read_trace(path)
+    with path.open("ab") as handle:
+        handle.write(b'not json at all\n{"ev": "I", "name": "ok", "ts": 9}\n')
+        handle.write(b'{"ev": "B", "id": 99, "name": "torn')  # no newline
+    entries = read_trace(path)
+    # The garbage line is skipped, the complete instant is kept, and the
+    # torn tail is invisible — exactly JournalTail's policy.
+    assert len(entries) == len(clean) + 1
+    assert entries[-1]["name"] == "ok"
+
+
+def test_validate_trace_reports_structural_violations():
+    assert validate_trace([{"ev": "Z", "ts": 0}]) == [
+        "line 1: unknown event kind 'Z'"
+    ]
+    dup = [
+        {"ev": "B", "id": 1, "name": "a", "ts": 0},
+        {"ev": "E", "id": 1, "name": "a", "ts": 1},
+        {"ev": "B", "id": 1, "name": "b", "ts": 2},
+        {"ev": "E", "id": 1, "name": "b", "ts": 3},
+    ]
+    assert any("duplicate span id 1" in p for p in validate_trace(dup))
+    wrong_parent = [
+        {"ev": "B", "id": 1, "name": "a", "ts": 0},
+        {"ev": "B", "id": 2, "name": "b", "ts": 1, "parent": 7},
+        {"ev": "E", "id": 2, "name": "b", "ts": 2},
+        {"ev": "E", "id": 1, "name": "a", "ts": 3},
+    ]
+    assert any("parent 7" in p for p in validate_trace(wrong_parent))
+    out_of_order = [
+        {"ev": "B", "id": 1, "name": "a", "ts": 0},
+        {"ev": "B", "id": 2, "name": "b", "ts": 1, "parent": 1},
+        {"ev": "E", "id": 1, "name": "a", "ts": 2},
+    ]
+    assert any("out of order" in p for p in validate_trace(out_of_order))
+    stale_instant = [
+        {"ev": "B", "id": 1, "name": "a", "ts": 0},
+        {"ev": "E", "id": 1, "name": "a", "ts": 1},
+        {"ev": "I", "name": "late", "ts": 2, "parent": 1},
+    ]
+    assert any("closed span 1" in p for p in validate_trace(stale_instant))
+    torn = [{"ev": "B", "id": 1, "name": "a", "ts": 0}]
+    assert any("never closed" in p for p in validate_trace(torn))
+
+
+def test_trace_spans_pairs_and_drops_unclosed(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(path, clock=_fake_clock(0.5))
+    with tracer.span("closed"):
+        pass
+    # Simulate a kill mid-span: open a span, never close it, just stop.
+    with tracer.span("victim"):
+        tracer.close()  # file gone before the E could be written
+    spans = trace_spans(read_trace(path))
+    assert [s["name"] for s in spans] == ["closed"]
+    assert spans[0]["dur"] == 0.5
+
+
+def test_summarize_spans_aggregates_by_name(tmp_path):
+    entries = read_trace(_nested_trace(tmp_path))
+    rows = summarize_spans(entries)
+    by_name = {r["span"]: r for r in rows}
+    assert by_name["scenario"]["count"] == 2
+    assert by_name["sweep"]["count"] == 1
+    # Sorted by total duration descending — the outermost span dominates.
+    assert rows[0]["span"] == "sweep"
+    for row in rows:
+        assert row["total_s"] >= row["max_s"] >= row["mean_s"] > 0
+
+
+def test_summarize_phases_sums_ledger_attrs(tmp_path):
+    entries = read_trace(_nested_trace(tmp_path))
+    rows = summarize_phases(entries)
+    assert rows == [
+        {"protocol": "vertex", "phase": "trial",
+         "bits": 15, "rounds": 5, "runs": 2}
+    ]
+
+
+def test_to_chrome_export_shape(tmp_path):
+    entries = read_trace(_nested_trace(tmp_path))
+    document = to_chrome(entries)
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(complete) == 4 and len(instants) == 2
+    assert all(e["dur"] > 0 for e in complete)
+    assert all(e["s"] == "t" for e in instants)
+    # Microsecond timestamps, globally sorted (what the viewer expects).
+    assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+    json.dumps(document)  # must be serializable as-is
+
+
+def test_tracer_is_silent_in_forked_children(tmp_path, monkeypatch):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(path)
+    with tracer.span("parent"):
+        pass
+    before = path.read_bytes()
+    # Pretend we are a forked worker: every write path must be a no-op so
+    # children can never interleave bytes into the coordinator's file.
+    monkeypatch.setattr(os, "getpid", lambda: tracer._pid + 1)
+    with tracer.span("child-span", x=1):
+        tracer.event("child-event")
+    tracer.close()
+    assert path.read_bytes() == before
+    monkeypatch.undo()
+    tracer.close()

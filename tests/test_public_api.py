@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.core",
     "repro.graphs",
     "repro.lowerbound",
+    "repro.obs",
 ]
 
 
@@ -43,6 +44,7 @@ def test_top_level_subpackages():
         "engine",
         "graphs",
         "lowerbound",
+        "obs",
         "verify",
     ):
         assert hasattr(repro, sub)
