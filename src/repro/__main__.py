@@ -74,6 +74,7 @@ from .engine import (
     backend_comparison,
     default_scenarios,
     iter_scenarios,
+    kernel_comparison,
     load_shard_document,
     merge_documents,
     parse_shard_spec,
@@ -466,6 +467,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench_p.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "(with --rand) fail (exit 1) if any numpy-kernel batch op "
+            "speeds up less than X over the pure-Python path; skipped "
+            "with a note when numpy is unavailable"
+        ),
+    )
+    bench_p.add_argument(
         "--max-obs-overhead",
         type=float,
         default=None,
@@ -775,6 +787,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.min_kernel_speedup is not None and not args.rand:
+        print(
+            "error: --min-kernel-speedup only applies to --rand "
+            "(the numpy kernel regression guard)",
+            file=sys.stderr,
+        )
+        return 2
     if args.max_obs_overhead is not None and not args.compare_transports:
         print(
             "error: --max-obs-overhead only applies to "
@@ -820,8 +839,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 ),
             )
         )
+        kernel_rows = kernel_comparison(seed=args.seed, repeat=args.repeat)
+        if kernel_rows:
+            kernel_table = [
+                [
+                    r["op"],
+                    f"{r['pure_s'] * 1e3:.3f}",
+                    f"{r['kernel_s'] * 1e3:.3f}",
+                    f"{r['speedup']:.2f}x",
+                ]
+                for r in kernel_rows
+            ]
+            print(
+                format_table(
+                    ["op", "pure python (ms)", "numpy kernel (ms)", "speedup"],
+                    kernel_table,
+                    title="numpy kernel backend — batch draws above dispatch thresholds",
+                )
+            )
+        else:
+            print("numpy kernel backend unavailable — pure-Python paths only")
         if args.json:
-            _write_bench_json(rows, args.json, "rand_comparison")
+            _write_bench_json(rows + kernel_rows, args.json, "rand_comparison")
         protocol_rows = [r for r in rows if r["op"].startswith("protocol")]
         if not all(r.get("stream_coloring_proper") for r in protocol_rows):
             print("stream substrate produced an improper coloring!", file=sys.stderr)
@@ -839,6 +878,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"regression guard: protocol speedup {worst:.2f}x >= "
                 f"{args.min_speedup:.2f}x floor"
             )
+        if args.min_kernel_speedup is not None:
+            if not kernel_rows:
+                print(
+                    "kernel guard skipped: numpy unavailable, nothing to floor"
+                )
+            else:
+                worst_kernel = min(r["speedup"] for r in kernel_rows)
+                if worst_kernel < args.min_kernel_speedup:
+                    print(
+                        f"REGRESSION: kernel batch speedup {worst_kernel:.2f}x "
+                        f"is below the {args.min_kernel_speedup:.2f}x floor",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"kernel guard: batch speedup {worst_kernel:.2f}x >= "
+                    f"{args.min_kernel_speedup:.2f}x floor"
+                )
         return 0
 
     if args.profile:

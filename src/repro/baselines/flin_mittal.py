@@ -49,8 +49,14 @@ def run_flin_mittal(
     partition: EdgePartition,
     seed: int = 0,
     transport: str | Transport | None = None,
+    rand: Stream | None = None,
 ) -> BaselineResult:
-    """Run FM25 on an edge-partitioned graph and measure it."""
+    """Run FM25 on an edge-partitioned graph and measure it.
+
+    ``rand`` roots the public tape at a caller-owned :class:`Stream`;
+    ``seed`` is the back-compat alias for ``Stream.from_seed(seed)`` —
+    the two draw bit-for-bit the same tape.
+    """
     delta = partition.max_degree
     num_colors = delta + 1
     core = resolve_transport(transport)
@@ -59,12 +65,13 @@ def run_flin_mittal(
         return BaselineResult(
             "flin_mittal", {v: 1 for v in range(partition.n)}, transcript, num_colors
         )
+    root = rand if rand is not None else Stream.from_seed(seed)
     a_colors, b_colors, _ = core.run(
         lambda ch: flin_mittal_proto(
-            ch, partition.alice_graph, num_colors, Stream.from_seed(seed, "public")
+            ch, partition.alice_graph, num_colors, root.derive("public")
         ),
         lambda ch: flin_mittal_proto(
-            ch, partition.bob_graph, num_colors, Stream.from_seed(seed, "public")
+            ch, partition.bob_graph, num_colors, root.derive("public")
         ),
         transcript,
     )

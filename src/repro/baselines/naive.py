@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..comm.bits import gamma_cost, uint_cost
 from ..comm.codecs import edge_list_codec
 from ..comm.transport import Channel, Transport, as_party, resolve_transport
+from ..rand import Stream
 from ..coloring.greedy import greedy_vertex_coloring
 from ..graphs.graph import Graph
 from ..graphs.partition import EdgePartition
@@ -40,8 +41,14 @@ def naive_exchange_party(own_graph: Graph, num_colors: int):
 def run_naive_exchange(
     partition: EdgePartition,
     transport: str | Transport | None = None,
+    seed: int | None = None,
+    rand: Stream | None = None,
 ) -> BaselineResult:
-    """Run the naive baseline on an edge-partitioned graph, measured."""
+    """Run the naive baseline on an edge-partitioned graph, measured.
+
+    ``seed``/``rand`` are accepted for driver-signature uniformity; the
+    protocol is deterministic and draws nothing from them.
+    """
     delta = partition.max_degree
     num_colors = delta + 1
     core = resolve_transport(transport)

@@ -17,6 +17,7 @@ ships both full edge sets and both parties greedy-color identically.
 from __future__ import annotations
 
 import math
+import random
 
 from ..comm.bits import gamma_cost, uint_cost
 from ..comm.codecs import edge_list_codec
@@ -50,7 +51,7 @@ def one_round_sparsify_proto(
     own_graph: Graph,
     num_colors: int,
     pub: Stream,
-    solver_seed: int,
+    solver_rng: random.Random,
 ):
     """One party's side of the one-round sparsification protocol."""
     n = own_graph.n
@@ -73,7 +74,7 @@ def one_round_sparsify_proto(
     )
 
     sparsified = Graph(n, list(conflicts) + list(peer_conflicts))
-    colors = solve_list_coloring(sparsified, lists, derived_random(solver_seed, "solver"))
+    colors = solve_list_coloring(sparsified, lists, solver_rng)
     if colors is not None:
         return colors
 
@@ -91,18 +92,24 @@ def one_round_sparsify_party(
     own_graph: Graph,
     num_colors: int,
     pub: Stream,
-    solver_seed: int,
+    solver_rng: random.Random,
 ):
     """Legacy generator-API adapter for :func:`one_round_sparsify_proto`."""
-    return as_party(one_round_sparsify_proto, own_graph, num_colors, pub, solver_seed)
+    return as_party(one_round_sparsify_proto, own_graph, num_colors, pub, solver_rng)
 
 
 def run_one_round_sparsify(
     partition: EdgePartition,
     seed: int = 0,
     transport: str | Transport | None = None,
+    rand: Stream | None = None,
 ) -> BaselineResult:
-    """Run the one-round protocol on an edge-partitioned graph, measured."""
+    """Run the one-round protocol on an edge-partitioned graph, measured.
+
+    ``rand`` roots all randomness at a caller-owned :class:`Stream`;
+    ``seed`` is the back-compat alias and draws bit-for-bit the same
+    tapes as before the ``rand`` parameter existed.
+    """
     delta = partition.max_degree
     num_colors = delta + 1
     core = resolve_transport(transport)
@@ -114,12 +121,23 @@ def run_one_round_sparsify(
             transcript,
             num_colors,
         )
+    root = rand if rand is not None else Stream.from_seed(seed)
+    pub_alice = root.derive("public")
+    pub_bob = root.derive("public")
+
+    # Both parties run the *same* deterministic solver, so each needs its
+    # own RNG instance with identical state.
+    def solver_rng() -> random.Random:
+        if rand is not None:
+            return rand.derive_random("sparsify-solver")
+        return derived_random(seed + 1, "solver")
+
     a_colors, b_colors, _ = core.run(
         lambda ch: one_round_sparsify_proto(
-            ch, partition.alice_graph, num_colors, Stream.from_seed(seed, "public"), seed + 1
+            ch, partition.alice_graph, num_colors, pub_alice, solver_rng()
         ),
         lambda ch: one_round_sparsify_proto(
-            ch, partition.bob_graph, num_colors, Stream.from_seed(seed, "public"), seed + 1
+            ch, partition.bob_graph, num_colors, pub_bob, solver_rng()
         ),
         transcript,
     )

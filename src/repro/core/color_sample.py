@@ -58,7 +58,7 @@ def color_sample_proto(
     # Feistel queries, below it the first access materializes a table
     # (cheaper than cycle-walking at small palette sizes).
     perm = pub.permutation(num_colors)
-    own_positions = {perm.index_of(c - 1) for c in own_used}
+    own_positions = set(perm.index_of_batch([c - 1 for c in own_used]))
 
     constant = SAMPLING_CONSTANT if sampling_constant is None else sampling_constant
     if constant >= num_colors:

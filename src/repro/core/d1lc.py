@@ -41,6 +41,7 @@ from ..coloring.greedy import greedy_d1lc_coloring
 from ..coloring.list_coloring import solve_list_coloring
 from ..graphs.graph import Graph
 from .color_sample import color_sample_proto
+from .probes import surviving_edges
 
 __all__ = ["d1lc_party", "d1lc_proto", "sample_list_size", "sparsity_threshold"]
 
@@ -135,10 +136,9 @@ def d1lc_proto(
     for (v, _j), color in draws.items():
         sampled[v].add(color)
 
-    # Step 2: locally drop own edges with disjoint sampled lists.
-    surviving = [
-        (u, v) for u, v in own_graph.edges() if sampled[u] & sampled[v]
-    ]
+    # Step 2: locally drop own edges with disjoint sampled lists (one int
+    # bitmask per vertex, one AND per edge).
+    surviving = surviving_edges(own_graph.edges(), sampled)
 
     # Step 3: Bob ships his surviving edges to Alice; Alice tries to solve
     # the sparsified instance and either broadcasts colors or requests the

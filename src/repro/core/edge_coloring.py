@@ -37,6 +37,7 @@ from ..comm.bits import bitmap_cost
 from ..comm.codecs import encode_cover_payload, encode_flag_bitmap
 from ..comm.ledger import Transcript
 from ..comm.transport import Channel, Transport, as_party, resolve_transport
+from ..rand import Stream
 from ..coloring.fournier import fournier_edge_coloring
 from ..coloring.greedy import greedy_edge_coloring
 from ..graphs.graph import Edge, Graph, canonical_edge
@@ -202,12 +203,17 @@ def zero_comm_edge_coloring_party(
 def run_zero_comm_edge_coloring(
     partition: EdgePartition,
     transport: str | Transport | None = None,
+    seed: int | None = None,
+    rand: Stream | None = None,
 ) -> EdgeColoringResult:
     """Theorem 3 on an edge-partitioned graph: zero bits, zero rounds.
 
     ``transport`` only picks the (empty) transcript's flavor — the
     protocol never communicates, so every transport is trivially
-    identical here.
+    identical here.  ``seed``/``rand`` are accepted for driver-signature
+    uniformity (every ``run_*`` driver composes under one root
+    :class:`~repro.rand.Stream`); the protocol is deterministic and
+    draws nothing from them.
     """
     transcript = resolve_transport(transport).new_transcript()
     delta = partition.max_degree
@@ -377,8 +383,15 @@ def edge_coloring_party(role: str, own_graph: Graph, delta: int):
 def run_edge_coloring(
     partition: EdgePartition,
     transport: str | Transport | None = None,
+    seed: int | None = None,
+    rand: Stream | None = None,
 ) -> EdgeColoringResult:
-    """Theorem 2 on an edge-partitioned graph: ``O(n)`` bits, ``O(1)`` rounds."""
+    """Theorem 2 on an edge-partitioned graph: ``O(n)`` bits, ``O(1)`` rounds.
+
+    ``seed``/``rand`` are accepted for driver-signature uniformity (every
+    ``run_*`` driver composes under one root :class:`~repro.rand.Stream`);
+    Theorem 2 is deterministic and draws nothing from them.
+    """
     delta = partition.max_degree
     num_colors = max(2 * delta - 1, 1)
     core = resolve_transport(transport)

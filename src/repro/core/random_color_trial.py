@@ -25,6 +25,7 @@ from ..comm.transport import Channel, as_party
 from ..rand import Stream
 from ..graphs.graph import Graph
 from .color_sample import color_sample_proto
+from .probes import confirmation_bits
 
 __all__ = [
     "paper_iteration_count",
@@ -94,16 +95,10 @@ def random_color_trial_proto(
         }
         chosen: dict[int, int] = yield from ch.parallel(samplers)
 
-        # One confirmation bit per awake vertex: "no conflict on my side".
+        # One confirmation bit per awake vertex: "no conflict on my side" —
+        # a color-class mask sweep over the whole awake neighborhood.
         awake_set = set(awake)
-        awake_packed = own_graph.pack_vertices(awake)
-        own_ok = tuple(
-            all(
-                chosen[u] != chosen[v]
-                for u in own_graph.neighbors_in(v, awake_packed)
-            )
-            for v in awake
-        )
+        own_ok = confirmation_bits(own_graph, awake, chosen)
         peer_ok = yield from ch.send(bitmap_cost(len(awake)), own_ok)
 
         still_active = []

@@ -118,14 +118,19 @@ def run_vertex_coloring(
     seed: int = 0,
     max_trial_iterations: int | None = None,
     transport: str | Transport | None = None,
+    rand: Stream | None = None,
 ) -> VertexColoringResult:
     """Execute the Theorem 1 protocol on an edge-partitioned graph.
 
-    The two parties read identical public tapes (same ``seed``) and disjoint
-    private tapes.  Returns the common-knowledge coloring with the measured
-    transcript (phases ``random_color_trial`` and ``d1lc_leftover``).
-    ``transport`` picks the comm simulation backend (name or instance;
-    default lockstep).
+    The two parties read identical public tapes and disjoint private
+    tapes, all derived from one root: pass ``rand`` (a :class:`Stream`)
+    to compose this run under a caller-owned key hierarchy, or ``seed``
+    (the back-compat alias) to root at ``Stream.from_seed(seed)`` — the
+    two are interchangeable, ``run(part, seed=s)`` draws bit-for-bit the
+    same tape as ``run(part, rand=Stream.from_seed(s))``.  Returns the
+    common-knowledge coloring with the measured transcript (phases
+    ``random_color_trial`` and ``d1lc_leftover``).  ``transport`` picks
+    the comm simulation backend (name or instance; default lockstep).
     """
     n = partition.n
     delta = partition.max_degree
@@ -146,11 +151,13 @@ def run_vertex_coloring(
 
     # Equal keys => identical public tapes; the private solver RNGs live
     # in label-separated stream space, so they never collide with any
-    # public draw of the same seed.
-    pub_alice = Stream.from_seed(seed, "public")
-    pub_bob = Stream.from_seed(seed, "public")
-    rng_alice = Stream.from_seed(seed).derive_random("alice-private")
-    rng_bob = Stream.from_seed(seed).derive_random("bob-private")
+    # public draw of the same root.  derive() ignores the root's counter,
+    # so a partially-consumed rand stream still yields the same children.
+    root = rand if rand is not None else Stream.from_seed(seed)
+    pub_alice = root.derive("public")
+    pub_bob = root.derive("public")
+    rng_alice = root.derive_random("alice-private")
+    rng_bob = root.derive_random("bob-private")
 
     # Spec tuples, matching ch.parallel's vocabulary: the transport calls
     # vertex_coloring_proto(ch, ...) directly, no per-run closures.

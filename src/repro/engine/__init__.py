@@ -16,6 +16,7 @@ bit-identical unsharded sweep.  The ``python -m repro`` CLI and the
 
 from .bench import (
     backend_comparison,
+    kernel_comparison,
     medium_workload,
     profile_hotspots,
     rand_comparison,
@@ -65,6 +66,7 @@ __all__ = [
     "build_workload",
     "default_scenarios",
     "iter_scenarios",
+    "kernel_comparison",
     "load_shard_document",
     "medium_workload",
     "merge_documents",

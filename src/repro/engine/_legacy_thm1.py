@@ -442,13 +442,15 @@ def run_vertex_coloring_legacy(
     partition: EdgePartition,
     seed: int = 0,
     max_trial_iterations: int | None = None,
+    rand: Stream | None = None,
 ) -> VertexColoringResult:
     """Theorem 1 end-to-end on the frozen pre-pooling lockstep machinery.
 
     Same seeds, same draws, same schedule as
     :func:`repro.core.run_vertex_coloring` — the result (coloring and
     transcript aggregates) must be bit-for-bit identical; only the comm
-    simulation machinery differs.
+    simulation machinery differs.  ``rand``/``seed`` mirror the modern
+    driver's stream-native signature.
     """
     n = partition.n
     delta = partition.max_degree
@@ -465,10 +467,11 @@ def run_vertex_coloring_legacy(
         else max_trial_iterations
     )
 
-    pub_alice = Stream.from_seed(seed, "public")
-    pub_bob = Stream.from_seed(seed, "public")
-    rng_alice = Stream.from_seed(seed).derive_random("alice-private")
-    rng_bob = Stream.from_seed(seed).derive_random("bob-private")
+    root = rand if rand is not None else Stream.from_seed(seed)
+    pub_alice = root.derive("public")
+    pub_bob = root.derive("public")
+    rng_alice = root.derive_random("alice-private")
+    rng_bob = root.derive_random("bob-private")
 
     (a_colors, a_leftover), (b_colors, b_leftover), _ = _legacy_run(
         lambda ch: _vertex_coloring(

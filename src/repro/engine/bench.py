@@ -42,6 +42,7 @@ from .scenarios import Scenario
 
 __all__ = [
     "backend_comparison",
+    "kernel_comparison",
     "medium_workload",
     "profile_hotspots",
     "rand_comparison",
@@ -266,6 +267,58 @@ def rand_comparison(
             "stream_coloring_proper": proper,
         }
     )
+    return rows
+
+
+def kernel_comparison(seed: int = 42, repeat: int = 5) -> list[dict[str, Any]]:
+    """Rows of ``{op, pure_s, kernel_s, speedup}`` — pure Python vs numpy.
+
+    Times the exact :class:`repro.rand.Stream` entry points on batch sizes
+    above the kernel dispatch thresholds, once with the numpy backend live
+    and once under :class:`repro.rand.kernels.disabled` — the same escape
+    hatch ``REPRO_NO_NUMPY=1`` flips.  Both arms draw bit-for-bit identical
+    values (the kernels' parity contract), so the ratio is pure backend
+    speed.  Returns ``[]`` when numpy is unavailable; the CLI's
+    ``--min-kernel-speedup`` floor guards these rows in CI.
+    """
+    from ..rand import kernels
+
+    if not kernels.available():
+        return []
+
+    cases: list[tuple[str, Callable[[], Any]]] = [
+        (
+            "kernel: biased coins k=4096 p=0.3",
+            lambda: Stream.from_seed(seed, "bench-coins").coins(4096, 0.3),
+        ),
+        (
+            "kernel: ints k=4096 range 1e6",
+            lambda: Stream.from_seed(seed, "bench-ints").ints(4096, 0, 1_000_000),
+        ),
+        (
+            "kernel: sample_indices m=65536 p=0.05",
+            lambda: Stream.from_seed(seed, "bench-mask").sample_indices(65536, 0.05),
+        ),
+        (
+            "kernel: feistel materialize m=4097",
+            lambda: Stream.from_seed(seed, "bench-perm").permutation(4097).materialize(),
+        ),
+    ]
+
+    rows = []
+    for name, fn in cases:
+        kernel_s = _time(fn, repeat)
+        with kernels.disabled():
+            pure_s = _time(fn, repeat)
+        rows.append(
+            {
+                "op": name,
+                "seed": seed,
+                "pure_s": pure_s,
+                "kernel_s": kernel_s,
+                "speedup": pure_s / kernel_s if kernel_s > 0 else float("inf"),
+            }
+        )
     return rows
 
 

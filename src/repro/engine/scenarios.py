@@ -16,7 +16,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Iterator
 
 from ..obs import get_observer
-from ..rand import stable_label_hash
+from ..rand import Stream, stable_label_hash
 from ..comm.transport import TRANSPORTS
 from ..core.edge_coloring import (
     run_edge_coloring,
@@ -291,7 +291,11 @@ def _observe_result(protocol: str, result) -> None:
 
 
 def _run_vertex(partition, seed: int, transport: str = "lockstep") -> dict[str, Any]:
-    result = run_vertex_coloring(partition, seed=seed, transport=transport)
+    # Stream-native call: rand=Stream.from_seed(seed) is bit-for-bit the
+    # driver's own seed= back-compat path, so sweep records are unchanged.
+    result = run_vertex_coloring(
+        partition, rand=Stream.from_seed(seed), transport=transport
+    )
     _observe_result("vertex", result)
     graph = partition.graph
     return {
@@ -304,7 +308,7 @@ def _run_vertex(partition, seed: int, transport: str = "lockstep") -> dict[str, 
 
 
 def _run_edge(partition, seed: int, transport: str = "lockstep") -> dict[str, Any]:
-    result = run_edge_coloring(partition, transport=transport)
+    result = run_edge_coloring(partition, transport=transport, rand=Stream.from_seed(seed))
     _observe_result("edge", result)
     graph = partition.graph
     return {
@@ -318,7 +322,9 @@ def _run_edge(partition, seed: int, transport: str = "lockstep") -> dict[str, An
 def _run_edge_zero_comm(
     partition, seed: int, transport: str = "lockstep"
 ) -> dict[str, Any]:
-    result = run_zero_comm_edge_coloring(partition, transport=transport)
+    result = run_zero_comm_edge_coloring(
+        partition, transport=transport, rand=Stream.from_seed(seed)
+    )
     _observe_result("edge_zero_comm", result)
     graph = partition.graph
     return {

@@ -158,6 +158,14 @@ class BitsetGraph(Graph):
             mask ^= low
         return out
 
+    def has_neighbor_in(self, v: int, packed: int) -> bool:
+        """Whether any neighbor of ``v`` lies in the packed mask.
+
+        One word-parallel AND — no bit extraction — so the confirmation
+        sweeps cost O(n/64) words per vertex instead of a neighbor walk.
+        """
+        return bool(self._bits[v] & packed)
+
     def neighbor_colors(self, v: int, coloring: Mapping[int, int]) -> set[int]:
         """The colors that ``coloring`` assigns to neighbors of ``v``."""
         mask = self._bits[v]

@@ -4,13 +4,17 @@ Covers the families the experiments sweep over (random graphs, regular
 graphs, bounded-degree structures) plus the paper's lower-bound
 constructions: unions of `C4` bit gadgets (Section 2.3 / FM25) and the
 star-pair instances underlying the ZEC game (Section 6.2).
+
+Randomized generators accept either a plain :class:`random.Random` or a
+:class:`repro.rand.Stream` (coerced via :func:`repro.rand.as_random`), so
+workloads can be rooted in the same key hierarchy as the protocol tapes.
 """
 
 from __future__ import annotations
 
-import random
 from collections.abc import Sequence
 
+from ..rand import RandomSource, as_random
 from .graph import Edge, Graph, canonical_edge
 
 __all__ = [
@@ -78,10 +82,11 @@ def grid_graph(rows: int, cols: int) -> Graph:
     return Graph(rows * cols, edges)
 
 
-def gnp_random_graph(n: int, p: float, rng: random.Random) -> Graph:
+def gnp_random_graph(n: int, p: float, rng: RandomSource) -> Graph:
     """Erdős–Rényi ``G(n, p)``."""
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p must be a probability, got {p}")
+    rng = as_random(rng)
     graph = Graph(n)
     for u in range(n):
         for v in range(u + 1, n):
@@ -90,12 +95,13 @@ def gnp_random_graph(n: int, p: float, rng: random.Random) -> Graph:
     return graph
 
 
-def gnp_with_max_degree(n: int, p: float, max_degree: int, rng: random.Random) -> Graph:
+def gnp_with_max_degree(n: int, p: float, max_degree: int, rng: RandomSource) -> Graph:
     """``G(n, p)`` with edges violating a degree cap rejected on the fly.
 
     Useful for sweeping ``n`` at a pinned ``Δ`` so round-complexity series
     isolate the ``log log n`` factor of Theorem 1.
     """
+    rng = as_random(rng)
     graph = Graph(n)
     order = [(u, v) for u in range(n) for v in range(u + 1, n)]
     rng.shuffle(order)
@@ -105,7 +111,7 @@ def gnp_with_max_degree(n: int, p: float, max_degree: int, rng: random.Random) -
     return graph
 
 
-def random_regular_graph(n: int, d: int, rng: random.Random, max_tries: int = 200) -> Graph:
+def random_regular_graph(n: int, d: int, rng: RandomSource, max_tries: int = 200) -> Graph:
     """A uniform-ish random ``d``-regular simple graph.
 
     Pairing model with stub re-queuing (the standard practical variant):
@@ -119,6 +125,7 @@ def random_regular_graph(n: int, d: int, rng: random.Random, max_tries: int = 20
         raise ValueError(f"degree {d} too large for {n} vertices")
     if d == 0:
         return Graph(n)
+    rng = as_random(rng)
 
     def suitable(edges: set[Edge], pending: dict[int, int]) -> bool:
         """Can every pending stub still be matched without a collision?"""
@@ -154,7 +161,7 @@ def random_regular_graph(n: int, d: int, rng: random.Random, max_tries: int = 20
     raise RuntimeError(f"failed to sample a simple {d}-regular graph on {n} vertices")
 
 
-def random_bipartite_regular(half: int, d: int, rng: random.Random) -> Graph:
+def random_bipartite_regular(half: int, d: int, rng: RandomSource) -> Graph:
     """A bipartite ``d``-regular graph on ``2·half`` vertices.
 
     Built as a union of ``d`` shifted copies of one random permutation
@@ -165,6 +172,7 @@ def random_bipartite_regular(half: int, d: int, rng: random.Random) -> Graph:
     """
     if d > half:
         raise ValueError(f"degree {d} too large for part size {half}")
+    rng = as_random(rng)
     perm = list(range(half))
     rng.shuffle(perm)
     shifts = rng.sample(range(half), d)
@@ -213,7 +221,7 @@ def power_law_degree_sequence(
     n: int,
     exponent: float,
     max_degree: int,
-    rng: random.Random,
+    rng: RandomSource,
 ) -> list[int]:
     """An even-sum degree sequence with ``P(d) ∝ d^{-exponent}``.
 
@@ -224,6 +232,7 @@ def power_law_degree_sequence(
         raise ValueError(f"exponent must be positive, got {exponent}")
     if max_degree < 1 or max_degree >= n:
         raise ValueError(f"max_degree must be in [1, n), got {max_degree}")
+    rng = as_random(rng)
     weights = [d ** (-exponent) for d in range(1, max_degree + 1)]
     total = sum(weights)
     degrees = [
@@ -236,7 +245,7 @@ def power_law_degree_sequence(
     return degrees
 
 
-def configuration_model_graph(degrees: list[int], rng: random.Random) -> Graph:
+def configuration_model_graph(degrees: list[int], rng: RandomSource) -> Graph:
     """A simple graph approximating a target degree sequence.
 
     Pairing-model with rejection of loops/multi-edges (rejected stubs are
@@ -246,6 +255,7 @@ def configuration_model_graph(degrees: list[int], rng: random.Random) -> Graph:
     n = len(degrees)
     if any(d < 0 or d >= n for d in degrees):
         raise ValueError("degrees must lie in [0, n)")
+    rng = as_random(rng)
     stubs = [v for v, d in enumerate(degrees) for _ in range(d)]
     rng.shuffle(stubs)
     graph = Graph(n)

@@ -165,6 +165,14 @@ class Graph:
         """Neighbors of ``v`` inside a :meth:`pack_vertices` result, sorted."""
         return sorted(self._adj[v] & packed)  # type: ignore[operator]
 
+    def has_neighbor_in(self, v: int, packed: object) -> bool:
+        """Whether any neighbor of ``v`` lies in a :meth:`pack_vertices` result.
+
+        The existence probe behind the batch confirmation sweeps: no
+        neighbor list is materialized or sorted.
+        """
+        return not self._adj[v].isdisjoint(packed)  # type: ignore[arg-type]
+
     def neighbor_colors(self, v: int, coloring: Mapping[int, int]) -> set[int]:
         """The colors that ``coloring`` assigns to neighbors of ``v``."""
         return {coloring[u] for u in self._adj[v] if u in coloring}

@@ -10,9 +10,9 @@ splits engineered to maximize cross-party coordination.
 
 from __future__ import annotations
 
-import random
 from collections.abc import Callable, Iterable
 
+from ..rand import RandomSource, as_random
 from .bitset import as_backend
 from .graph import Edge, Graph, canonical_edge
 
@@ -95,35 +95,36 @@ class EdgePartition:
         )
 
 
-def partition_random(graph: Graph, rng: random.Random, p_alice: float = 0.5) -> EdgePartition:
+def partition_random(graph: Graph, rng: RandomSource, p_alice: float = 0.5) -> EdgePartition:
     """Assign each edge to Alice independently with probability ``p_alice``."""
+    rng = as_random(rng)
     alice = [e for e in graph.edges() if rng.random() < p_alice]
     return EdgePartition(graph, alice)
 
 
-def partition_all_alice(graph: Graph, rng: random.Random | None = None) -> EdgePartition:
+def partition_all_alice(graph: Graph, rng: RandomSource | None = None) -> EdgePartition:
     """Alice holds every edge (the FM25 lower-bound regime)."""
     return EdgePartition(graph, graph.edges())
 
 
-def partition_all_bob(graph: Graph, rng: random.Random | None = None) -> EdgePartition:
+def partition_all_bob(graph: Graph, rng: RandomSource | None = None) -> EdgePartition:
     """Bob holds every edge."""
     return EdgePartition(graph, ())
 
 
-def partition_alternating(graph: Graph, rng: random.Random | None = None) -> EdgePartition:
+def partition_alternating(graph: Graph, rng: RandomSource | None = None) -> EdgePartition:
     """Edges alternate Alice/Bob in canonical order (deterministic 50/50)."""
     alice = [e for idx, e in enumerate(graph.edge_list()) if idx % 2 == 0]
     return EdgePartition(graph, alice)
 
 
-def partition_by_hash(graph: Graph, rng: random.Random | None = None) -> EdgePartition:
+def partition_by_hash(graph: Graph, rng: RandomSource | None = None) -> EdgePartition:
     """Deterministic pseudo-random split keyed on the edge identity."""
     alice = [(u, v) for u, v in graph.edges() if (u * 0x9E3779B1 ^ v * 0x85EBCA77) & 1]
     return EdgePartition(graph, alice)
 
 
-def partition_degree_split(graph: Graph, rng: random.Random | None = None) -> EdgePartition:
+def partition_degree_split(graph: Graph, rng: RandomSource | None = None) -> EdgePartition:
     """Each vertex's incident edges split as evenly as possible.
 
     Maximizes the number of vertices whose neighborhood straddles both
@@ -143,19 +144,20 @@ def partition_degree_split(graph: Graph, rng: random.Random | None = None) -> Ed
     return EdgePartition(graph, alice)
 
 
-def partition_crossing(graph: Graph, rng: random.Random) -> EdgePartition:
+def partition_crossing(graph: Graph, rng: RandomSource) -> EdgePartition:
     """A random vertex bisection: crossing edges to Alice, internal to Bob.
 
     Produces highly correlated, structured views (Alice sees a bipartite-ish
     graph), stressing protocols whose analysis assumes nothing about the
     split.
     """
+    rng = as_random(rng)
     side = [rng.random() < 0.5 for _ in range(graph.n)]
     alice = [(u, v) for u, v in graph.edges() if side[u] != side[v]]
     return EdgePartition(graph, alice)
 
 
-PARTITIONERS: dict[str, Callable[[Graph, random.Random], EdgePartition]] = {
+PARTITIONERS: dict[str, Callable[[Graph, RandomSource], EdgePartition]] = {
     "random": partition_random,
     "all_alice": partition_all_alice,
     "all_bob": partition_all_bob,

@@ -19,7 +19,16 @@ Every call site in the library speaks this API directly (the deprecated
 ``PublicRandomness`` compatibility shim has been retired).
 """
 
-from .core import Label, Stream, derived_random, mix64, stable_label_hash
+from . import kernels
+from .core import (
+    Label,
+    RandomSource,
+    Stream,
+    as_random,
+    derived_random,
+    mix64,
+    stable_label_hash,
+)
 from .legacy import LegacyTape
 from .perm import (
     SMALL_THRESHOLD,
@@ -35,11 +44,14 @@ __all__ = [
     "Label",
     "LegacyTape",
     "Permutation",
+    "RandomSource",
     "SMALL_THRESHOLD",
     "SmallPermutation",
     "Stream",
+    "as_random",
     "derived_random",
     "geometric_indices",
+    "kernels",
     "make_permutation",
     "mix64",
     "stable_label_hash",

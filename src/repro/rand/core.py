@@ -31,10 +31,19 @@ import zlib
 from collections.abc import Sequence
 from typing import TypeVar, Union
 
+from . import kernels as _kernels
 from .perm import Permutation, make_permutation
 from .sampling import geometric_indices
 
-__all__ = ["Label", "Stream", "derived_random", "mix64", "stable_label_hash"]
+__all__ = [
+    "Label",
+    "RandomSource",
+    "Stream",
+    "as_random",
+    "derived_random",
+    "mix64",
+    "stable_label_hash",
+]
 
 T = TypeVar("T")
 
@@ -221,10 +230,28 @@ class Stream:
         Fair coins (``p = 0.5``) are packed 64 to a PRF word — the word's
         bits unpacked LSB-first through a byte table, consuming
         ``ceil(k/64)`` counter steps; biased coins cost one word per flip
-        like :meth:`coin`.
+        like :meth:`coin`.  Large batches dispatch to the numpy kernels
+        when available (:data:`repro.rand.kernels.MIN_BATCH` for biased,
+        :data:`~repro.rand.kernels.FAIR_MIN_BATCH` for fair coins) — the
+        output (values and words consumed) is bit-for-bit identical
+        either way.
         """
         if k <= 0:
             return []
+        if _kernels._np is not None:
+            if p == 0.5:
+                if k >= _kernels.FAIR_MIN_BATCH:
+                    out, used = _kernels.fair_coins(self.key, self.counter, k)
+                    self.counter += used
+                    return out
+            elif k >= _kernels.MIN_BATCH:
+                threshold = int(p * _TWO53)
+                if 0 <= threshold < (1 << 64):
+                    out, used = _kernels.biased_coins(
+                        self.key, self.counter, k, threshold
+                    )
+                    self.counter += used
+                    return out
         key, counter = self.key, self.counter
         out: list[bool] = []
         if p == 0.5:
@@ -257,6 +284,14 @@ class Stream:
         if k <= 0:
             return []
         width = high - low + 1
+        if (
+            _kernels._np is not None
+            and k >= _kernels.MIN_BATCH
+            and width < (1 << 64)
+        ):
+            out, used = _kernels.ints(self.key, self.counter, k, low, width)
+            self.counter += used
+            return out
         key, counter = self.key, self.counter
         out = []
         append = out.append
@@ -299,6 +334,10 @@ class Stream:
             return range(m)
         if p <= 0.0 or m <= 0:
             return ()
+        if _kernels._np is not None and p * m >= _kernels.MIN_BATCH:
+            out, used = _kernels.geometric(self.key, self.counter, m, p)
+            self.counter += used
+            return out
         return geometric_indices(self, m, p)
 
     def sample_mask(self, m: int, p: float) -> list[bool]:
@@ -307,10 +346,44 @@ class Stream:
             return [True] * m
         if p <= 0.0 or m <= 0:
             return [False] * m
+        indices = self.sample_indices(m, p)
+        if (
+            _kernels._np is not None
+            and m >= _kernels.MIN_BATCH
+            and 4 * len(indices) >= m
+        ):
+            # Dense enough that the vectorized fill beats the pure loop;
+            # sparse masks keep the [False]*m + spot-assign build, which
+            # is near-optimal already.
+            return _kernels.dense_mask(m, indices)
         mask = [False] * m
-        for i in geometric_indices(self, m, p):
+        for i in indices:
             mask[i] = True
         return mask
+
+
+#: Anything the graph generators / partitioners accept as a randomness
+#: source: a :class:`Stream` (adapted via :func:`as_random`) or a bare
+#: stdlib ``random.Random``.
+RandomSource = Union[Stream, random.Random]
+
+
+def as_random(rng: RandomSource) -> random.Random:
+    """Adapt a :class:`Stream` (or pass through a ``random.Random``).
+
+    The one-line bridge that lets every ``rng``-taking public signature —
+    the graph generators and partitioners — accept either substrate.  A
+    ``Stream`` maps to a labelled private ``random.Random`` (the
+    ``"as-random"`` derivation), so adapting never consumes stream state
+    and adapting the same stream twice yields identical generators.
+    """
+    if isinstance(rng, Stream):
+        return rng.derive_random("as-random")
+    if isinstance(rng, random.Random):
+        return rng
+    raise TypeError(
+        f"expected a Stream or random.Random, got {type(rng).__name__}"
+    )
 
 
 def derived_random(seed: int | None, *labels: Label) -> random.Random:

@@ -20,7 +20,9 @@ permutation without communication.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
+
+from . import kernels as _kernels
 
 __all__ = [
     "FeistelPermutation",
@@ -74,6 +76,19 @@ class Permutation:
 
     def __iter__(self) -> Iterator[int]:
         return (self[i] for i in range(self.m))
+
+    def batch(self, indices: Iterable[int]) -> list[int]:
+        """``[perm[i] for i in indices]`` in one call.
+
+        The base implementation is the scalar loop; the Feistel back-end
+        overrides it with a vectorized network evaluation (identical
+        values — the kernels are pinned against this loop).
+        """
+        return [self[i] for i in indices]
+
+    def index_of_batch(self, values: Iterable[int]) -> list[int]:
+        """``[perm.index_of(x) for x in values]`` in one call."""
+        return [self.index_of(x) for x in values]
 
     def materialize(self) -> list[int]:
         """The full permutation as a list (forces all m evaluations)."""
@@ -129,6 +144,33 @@ class FeistelPermutation(Permutation):
         while i >= self.m:
             i = self._decrypt(i)
         return i
+
+    def batch(self, indices: Iterable[int]) -> list[int]:
+        indices = list(indices)
+        if (
+            _kernels._np is not None
+            and len(indices) >= _kernels.FEISTEL_MIN_BATCH
+        ):
+            for i in indices:
+                self._check(i)
+            return _kernels.feistel_batch(self, indices, forward=True)
+        return [self[i] for i in indices]
+
+    def index_of_batch(self, values: Iterable[int]) -> list[int]:
+        values = list(values)
+        if (
+            _kernels._np is not None
+            and len(values) >= _kernels.FEISTEL_MIN_BATCH
+        ):
+            for x in values:
+                self._check(x)
+            return _kernels.feistel_batch(self, values, forward=False)
+        return [self.index_of(x) for x in values]
+
+    def materialize(self) -> list[int]:
+        if _kernels._np is not None and self.m >= _kernels.FEISTEL_MIN_BATCH:
+            return _kernels.feistel_batch(self, range(self.m), forward=True)
+        return [self[i] for i in range(self.m)]
 
 
 class SmallPermutation(Permutation):
