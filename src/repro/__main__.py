@@ -5,7 +5,9 @@ Subcommands:
 ``sweep``
     Run a scenario grid through :func:`repro.engine.sweep` and write
     ``sweep.json`` + ``sweep.md`` result files.  ``--smoke`` selects the
-    small CI grid; ``--filter`` narrows any grid by name substring;
+    small CI grid; ``--large`` the million-vertex tier (power-law
+    social graphs on the CSR backend); ``--filter`` narrows any grid
+    by name substring;
     ``--backend`` pins or duplicates the graph backend; ``--transport``
     pins the comm transport (lockstep / count / strict, or ``all``).
     ``--shard k/N`` runs only this machine's stable-hash shard of the
@@ -39,7 +41,10 @@ Subcommands:
     across all three comm transports instead; with ``--rand``, time the
     randomness substrates (legacy ``random.Random`` tape vs
     ``repro.rand`` streams) on micro draws and the Theorem 1 vertex
-    path; with ``--profile``, emit cProfile's top functions for that
+    path; with ``--graphs``, compare the graph *representations*
+    (set / bitset / csr) on a shared power-law edge list — build time,
+    probe throughput, and memory, with the ``--min-csr-speedup`` CI
+    floor; with ``--profile``, emit cProfile's top functions for that
     path.  ``--json`` writes the rows to a machine-readable file.
 
 ``trace``
@@ -73,8 +78,10 @@ from .engine import (
     MergeError,
     backend_comparison,
     default_scenarios,
+    graphs_comparison,
     iter_scenarios,
     kernel_comparison,
+    large_scenarios,
     load_shard_document,
     merge_documents,
     parse_shard_spec,
@@ -99,6 +106,7 @@ from .obs import (
 __all__ = ["main"]
 
 _TRANSPORT_CHOICES = ("lockstep", "count", "strict")
+_BACKEND_CHOICES = ("set", "bitset", "csr", "both")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -142,10 +150,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sweep_p = sub.add_parser("sweep", help="run a scenario sweep")
-    sweep_p.add_argument(
+    sweep_grid = sweep_p.add_mutually_exclusive_group()
+    sweep_grid.add_argument(
         "--smoke",
         action="store_true",
         help="run the small CI grid instead of the full curated grid",
+    )
+    sweep_grid.add_argument(
+        "--large",
+        action="store_true",
+        help=(
+            "run the million-vertex tier (power-law social graphs at "
+            "n=1e5 and n=1e6 on the CSR backend) instead of the curated "
+            "grid — sparse-backend territory; see ARCHITECTURE.md"
+        ),
     )
     sweep_p.add_argument(
         "--filter",
@@ -155,9 +173,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument(
         "--backend",
-        choices=("set", "bitset", "both"),
+        choices=_BACKEND_CHOICES,
         default=None,
-        help="pin every scenario to one graph backend (or run both)",
+        help="pin every scenario to one graph backend ('both' runs them all)",
     )
     sweep_p.add_argument(
         "--transport",
@@ -234,14 +252,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SHARD",
         help="shard sweep.json files (or the result dirs containing them)",
     )
-    merge_p.add_argument(
+    merge_grid = merge_p.add_mutually_exclusive_group()
+    merge_grid.add_argument(
         "--smoke",
         action="store_true",
         help="shards were cut from the small CI grid (must match the sweeps)",
     )
+    merge_grid.add_argument(
+        "--large",
+        action="store_true",
+        help="shards were cut from the million-vertex grid",
+    )
     merge_p.add_argument("--filter", default=None, metavar="SUBSTR")
     merge_p.add_argument(
-        "--backend", choices=("set", "bitset", "both"), default=None
+        "--backend", choices=_BACKEND_CHOICES, default=None
     )
     merge_p.add_argument(
         "--transport",
@@ -278,10 +302,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "sweep.json is bit-for-bit identical to a serial sweep."
         ),
     )
-    dispatch_p.add_argument("--smoke", action="store_true", help="the small CI grid")
+    dispatch_grid = dispatch_p.add_mutually_exclusive_group()
+    dispatch_grid.add_argument(
+        "--smoke", action="store_true", help="the small CI grid"
+    )
+    dispatch_grid.add_argument(
+        "--large", action="store_true", help="the million-vertex grid"
+    )
     dispatch_p.add_argument("--filter", default=None, metavar="SUBSTR")
     dispatch_p.add_argument(
-        "--backend", choices=("set", "bitset", "both"), default=None
+        "--backend", choices=_BACKEND_CHOICES, default=None
     )
     dispatch_p.add_argument(
         "--transport",
@@ -396,14 +426,20 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p = sub.add_parser(
         "bench", help="compare graph backends (or comm transports)"
     )
-    bench_p.add_argument("--n", type=int, default=512, help="vertices (default 512)")
+    bench_p.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        help="vertices (default 512; 100000 with --graphs)",
+    )
     bench_p.add_argument(
         "--degree",
         type=int,
         default=None,
         help=(
             "degree (default 8 for the backend comparison, 10 — the E4 "
-            "workload — with --compare-transports)"
+            "workload — with --compare-transports, 24 — the power-law "
+            "cap — with --graphs)"
         ),
     )
     bench_p.add_argument("--seed", type=int, default=42, help="workload seed")
@@ -431,6 +467,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "time the randomness substrates (legacy random.Random tape "
             "vs repro.rand streams) on micro draws and the Theorem 1 "
             "vertex path instead of comparing graph backends"
+        ),
+    )
+    bench_p.add_argument(
+        "--graphs",
+        action="store_true",
+        help=(
+            "compare graph *representations* (set / bitset / csr) on one "
+            "shared power-law edge list: build time, confirmation-probe "
+            "throughput, and tracemalloc memory — the million-vertex "
+            "backend-picking numbers"
         ),
     )
     bench_p.add_argument(
@@ -478,6 +524,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench_p.add_argument(
+        "--min-csr-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "(with --graphs) fail (exit 1) unless the csr backend beats "
+            "bitset by X on probe throughput OR by 10x on memory — the "
+            "sparse-backend CI regression guard"
+        ),
+    )
+    bench_p.add_argument(
         "--max-obs-overhead",
         type=float,
         default=None,
@@ -516,10 +573,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     list_p = sub.add_parser("list-scenarios", help="print scenario names")
-    list_p.add_argument("--smoke", action="store_true", help="list the CI grid")
+    list_grid = list_p.add_mutually_exclusive_group()
+    list_grid.add_argument(
+        "--smoke", action="store_true", help="list the CI grid"
+    )
+    list_grid.add_argument(
+        "--large", action="store_true", help="list the million-vertex grid"
+    )
     list_p.add_argument("--filter", default=None, metavar="SUBSTR")
     list_p.add_argument(
-        "--backend", choices=("set", "bitset", "both"), default=None
+        "--backend", choices=_BACKEND_CHOICES, default=None
     )
     list_p.add_argument(
         "--transport",
@@ -537,7 +600,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _select_scenarios(args: argparse.Namespace):
-    grid = smoke_scenarios() if args.smoke else default_scenarios()
+    if getattr(args, "large", False):
+        grid = large_scenarios()
+    elif args.smoke:
+        grid = smoke_scenarios()
+    else:
+        grid = default_scenarios()
     return list(
         iter_scenarios(
             grid,
@@ -685,6 +753,8 @@ def _selection_argv(args: argparse.Namespace) -> list[str]:
     argv: list[str] = []
     if args.smoke:
         argv.append("--smoke")
+    if args.large:
+        argv.append("--large")
     if args.filter is not None:
         argv += ["--filter", args.filter]
     if args.backend is not None:
@@ -772,14 +842,15 @@ def _write_bench_json(rows, path: str, label: str) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    exclusive = [args.compare_transports, args.rand, args.profile]
+    exclusive = [args.compare_transports, args.rand, args.profile, args.graphs]
     if sum(exclusive) > 1:
         print(
-            "error: --compare-transports, --rand, and --profile are "
-            "mutually exclusive",
+            "error: --compare-transports, --rand, --profile, and --graphs "
+            "are mutually exclusive",
             file=sys.stderr,
         )
         return 2
+    n = args.n if args.n is not None else (100_000 if args.graphs else 512)
     if args.min_speedup is not None and not (args.rand or args.compare_transports):
         print(
             "error: --min-speedup only applies to --rand or "
@@ -794,6 +865,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.min_csr_speedup is not None and not args.graphs:
+        print(
+            "error: --min-csr-speedup only applies to --graphs "
+            "(the sparse-backend regression guard)",
+            file=sys.stderr,
+        )
+        return 2
     if args.max_obs_overhead is not None and not args.compare_transports:
         print(
             "error: --max-obs-overhead only applies to "
@@ -801,21 +879,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if (args.rand or args.profile) and args.transport != "lockstep":
-        mode = "--rand" if args.rand else "--profile"
+    if (args.rand or args.profile or args.graphs) and args.transport != "lockstep":
+        mode = "--rand" if args.rand else "--profile" if args.profile else "--graphs"
         print(
             f"error: --transport conflicts with {mode} "
-            "(these modes always run on the lockstep reference transport)",
+            "(these modes never touch the comm layer's transports)",
             file=sys.stderr,
         )
         return 2
+
+    if args.graphs:
+        degree = args.degree if args.degree is not None else 24
+        try:
+            with _obs_context(args):
+                rows = graphs_comparison(
+                    n=n, degree=degree, seed=args.seed, repeat=args.repeat
+                )
+        except ValueError as exc:
+            print(f"error: infeasible workload: {exc}", file=sys.stderr)
+            return 2
+        table_rows = [
+            [
+                r["backend"],
+                f"{r['build_s']:.3f}",
+                f"{r['probe_s'] * 1e3:.3f}",
+                f"{r['mem_mb']:.3f}",
+                f"{r['peak_mb']:.3f}",
+            ]
+            for r in rows
+        ]
+        m = rows[0]["m"] if rows else 0
+        print(
+            format_table(
+                ["backend", "build (s)", "probe sweep (ms)", "mem (MB)", "peak (MB)"],
+                table_rows,
+                title=(
+                    f"graph representation comparison — power-law workload "
+                    f"(n={n}, m={m}, cap={degree}, seed={args.seed})"
+                ),
+            )
+        )
+        csr = next((r for r in rows if r["backend"] == "csr"), None)
+        if csr is not None and "probe_speedup_vs_bitset" in csr:
+            print(
+                f"csr vs bitset: {csr['probe_speedup_vs_bitset']:.2f}x probe "
+                f"throughput, {csr['mem_ratio_vs_bitset']:.1f}x less memory"
+            )
+        if args.json:
+            _write_bench_json(rows, args.json, "graphs_comparison")
+        if args.min_csr_speedup is not None:
+            if csr is None or "probe_speedup_vs_bitset" not in csr:
+                print("error: no csr-vs-bitset row to guard", file=sys.stderr)
+                return 2
+            speedup = csr["probe_speedup_vs_bitset"]
+            mem_ratio = csr["mem_ratio_vs_bitset"]
+            if speedup < args.min_csr_speedup and mem_ratio < 10.0:
+                print(
+                    f"REGRESSION: csr probe speedup {speedup:.2f}x is below "
+                    f"the {args.min_csr_speedup:.2f}x floor and memory ratio "
+                    f"{mem_ratio:.1f}x is below the 10x escape",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"csr guard: probe speedup {speedup:.2f}x "
+                f"(floor {args.min_csr_speedup:.2f}x) / memory ratio "
+                f"{mem_ratio:.1f}x (escape 10x) — passed"
+            )
+        return 0
 
     if args.rand:
         degree = args.degree if args.degree is not None else 8
         try:
             with _obs_context(args):
                 rows = rand_comparison(
-                    n=args.n, d=degree, seed=args.seed, repeat=args.repeat
+                    n=n, d=degree, seed=args.seed, repeat=args.repeat
                 )
         except ValueError as exc:
             print(f"error: infeasible workload: {exc}", file=sys.stderr)
@@ -835,7 +973,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 table_rows,
                 title=(
                     f"randomness substrate comparison — medium workload "
-                    f"(n={args.n}, d={degree}, seed={args.seed})"
+                    f"(n={n}, d={degree}, seed={args.seed})"
                 ),
             )
         )
@@ -902,7 +1040,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         degree = args.degree if args.degree is not None else 8
         try:
             rows = profile_hotspots(
-                n=args.n, d=degree, seed=args.seed, top=args.top
+                n=n, d=degree, seed=args.seed, top=args.top
             )
         except ValueError as exc:
             print(f"error: infeasible workload: {exc}", file=sys.stderr)
@@ -923,7 +1061,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 table_rows,
                 title=(
                     f"cProfile hotspots — vertex (thm 1) on the medium "
-                    f"workload (n={args.n}, d={degree}, seed={args.seed})"
+                    f"workload (n={n}, d={degree}, seed={args.seed})"
                 ),
             )
         )
@@ -943,7 +1081,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         try:
             with _obs_context(args):
                 rows = transport_comparison(
-                    n=args.n, d=degree, seed=args.seed, repeat=args.repeat
+                    n=n, d=degree, seed=args.seed, repeat=args.repeat
                 )
         except ValueError as exc:
             print(f"error: infeasible workload: {exc}", file=sys.stderr)
@@ -984,7 +1122,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 table_rows,
                 title=(
                     f"comm transport comparison — E4 workload "
-                    f"(n={args.n}, d={degree}, seed={args.seed})"
+                    f"(n={n}, d={degree}, seed={args.seed})"
                 ),
             )
         )
@@ -1045,7 +1183,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         with _obs_context(args):
             rows = backend_comparison(
-                n=args.n,
+                n=n,
                 d=degree,
                 seed=args.seed,
                 repeat=args.repeat,
@@ -1069,7 +1207,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             table_rows,
             title=(
                 f"graph backend comparison — medium workload "
-                f"(n={args.n}, d={degree}, seed={args.seed}, "
+                f"(n={n}, d={degree}, seed={args.seed}, "
                 f"transport={args.transport})"
             ),
         )

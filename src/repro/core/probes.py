@@ -44,7 +44,16 @@ def confirmation_bits(
     a *different* color class, so ``v`` is conflict-free iff it has no
     neighbor inside its own class.  Each class is packed once; the sweep
     is then one existence probe per vertex.
+
+    Backends may carry a native ``confirmation_bits`` method (the CSR
+    backend sweeps its index rows directly instead of packing per-class
+    masks); it must return exactly the booleans of the generic sweep
+    below.  The set and bitset backends define no such hook and take the
+    generic path unchanged.
     """
+    backend_sweep = getattr(own_graph, "confirmation_bits", None)
+    if backend_sweep is not None:
+        return backend_sweep(awake, chosen)
     by_color: dict[int, list[int]] = {}
     for v in awake:
         by_color.setdefault(chosen[v], []).append(v)

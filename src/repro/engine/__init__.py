@@ -16,6 +16,7 @@ bit-identical unsharded sweep.  The ``python -m repro`` CLI and the
 
 from .bench import (
     backend_comparison,
+    graphs_comparison,
     kernel_comparison,
     medium_workload,
     profile_hotspots,
@@ -39,6 +40,7 @@ from .scenarios import (
     Scenario,
     default_scenarios,
     iter_scenarios,
+    large_scenarios,
     smoke_scenarios,
 )
 from .sharding import (
@@ -65,8 +67,10 @@ __all__ = [
     "build_partition",
     "build_workload",
     "default_scenarios",
+    "graphs_comparison",
     "iter_scenarios",
     "kernel_comparison",
+    "large_scenarios",
     "load_shard_document",
     "medium_workload",
     "merge_documents",

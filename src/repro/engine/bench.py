@@ -34,7 +34,12 @@ from ..comm.transport import TRANSPORTS, resolve_transport
 from ..core.edge_coloring import run_edge_coloring, run_zero_comm_edge_coloring
 from ..core.random_color_trial import paper_iteration_count
 from ..core.vertex_coloring import run_vertex_coloring, vertex_coloring_proto
-from ..graphs import EdgePartition
+from ..graphs import (
+    GRAPH_BACKENDS,
+    EdgePartition,
+    configuration_model_edge_stream,
+    power_law_degree_sequence,
+)
 from ..graphs.validation import is_proper_vertex_coloring
 from ..rand import LegacyTape, Stream
 from .runner import build_partition
@@ -42,6 +47,7 @@ from .scenarios import Scenario
 
 __all__ = [
     "backend_comparison",
+    "graphs_comparison",
     "kernel_comparison",
     "medium_workload",
     "profile_hotspots",
@@ -147,6 +153,79 @@ def backend_comparison(
                 "bitset_s": bitset_s,
                 "speedup": set_s / bitset_s if bitset_s > 0 else float("inf"),
             }
+        )
+    return rows
+
+
+def graphs_comparison(
+    n: int = 100_000,
+    degree: int = 24,
+    seed: int = 42,
+    repeat: int = 3,
+) -> list[dict[str, Any]]:
+    """One row per graph backend: build time, probe throughput, memory.
+
+    All backends ingest the *identical* power-law edge list (the social
+    family's recipe: stream-drawn degree sequence + configuration-model
+    pairing), so every difference is pure representation.  Per backend:
+
+    * ``build_s`` — best-of construction time from the shared edge list.
+    * ``probe_s`` — one confirmation-style sweep: pack half the vertex
+      set, then ``has_neighbor_in`` for every vertex (the Random-Color-
+      Trial hot probe).  This is where bitset's O(n/64) words-per-probe
+      masks collapse against CSR's O(deg) row scans on sparse graphs.
+    * ``mem_mb`` / ``peak_mb`` — tracemalloc-retained structure size and
+      build-time allocation peak (bitset adjacency is O(n²) bits, so at
+      n = 10⁵ this is the backend-picking number).
+
+    The ``csr`` row adds ``probe_speedup_vs_bitset`` and
+    ``mem_ratio_vs_bitset`` — the quantities the CI guard
+    (``bench --graphs --min-csr-speedup``) floors.
+    """
+    import tracemalloc
+
+    stream = Stream.from_seed(seed, "bench-graphs")
+    degrees = power_law_degree_sequence(n, 2.3, degree, stream.derive("degrees"))
+    edges = list(
+        configuration_model_edge_stream(degrees, stream.derive("pairing"))
+    )
+
+    def probe(graph, packed):
+        has_neighbor_in = graph.has_neighbor_in
+        for v in range(graph.n):
+            has_neighbor_in(v, packed)
+
+    rows = []
+    by_backend: dict[str, dict[str, Any]] = {}
+    half = range(0, n, 2)
+    for backend, cls in GRAPH_BACKENDS.items():
+        build_s = _time(lambda: cls(n, edges), min(repeat, 2))
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        graph = cls(n, edges)
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        packed = graph.pack_vertices(half)
+        probe_s = _time(lambda: probe(graph, packed), repeat)
+        row = {
+            "backend": backend,
+            "n": n,
+            "m": graph.m,
+            "seed": seed,
+            "build_s": build_s,
+            "probe_s": probe_s,
+            "mem_mb": round((current - before) / 1e6, 3),
+            "peak_mb": round((peak - before) / 1e6, 3),
+        }
+        by_backend[backend] = row
+        rows.append(row)
+    csr, bitset = by_backend.get("csr"), by_backend.get("bitset")
+    if csr and bitset:
+        csr["probe_speedup_vs_bitset"] = (
+            bitset["probe_s"] / csr["probe_s"] if csr["probe_s"] > 0 else float("inf")
+        )
+        csr["mem_ratio_vs_bitset"] = (
+            bitset["mem_mb"] / csr["mem_mb"] if csr["mem_mb"] > 0 else float("inf")
         )
     return rows
 

@@ -38,7 +38,7 @@ from typing import Any, Callable, Iterable, Sequence
 from ..graphs import EdgePartition, Graph, PARTITIONERS
 from ..obs import get_observer
 from ..obs.metrics import WALL_CLOCK
-from ..rand import derived_random
+from ..rand import Stream, derived_random
 from .scenarios import FAMILIES, PROTOCOLS, Scenario
 from .sharding import Journal
 
@@ -57,6 +57,11 @@ __all__ = [
 @lru_cache(maxsize=256)
 def _cached_workload(family: str, params: tuple, seed: int) -> Graph:
     builder = FAMILIES[family]
+    if getattr(builder, "stream_native", False):
+        # Large-scale families draw straight from the workload stream
+        # (geometric-skip edge streams); same "workload" label, so the
+        # derivation hierarchy is unchanged for every other family.
+        return builder(Stream.from_seed(seed).derive("workload"), **dict(params))
     rng = derived_random(seed, "workload")
     return builder(rng, **dict(params))
 

@@ -31,7 +31,10 @@ from ..graphs import (
     c4_gadget_union,
     caterpillar_graph,
     complete_graph,
+    configuration_model_edge_stream,
     configuration_model_graph,
+    conflict_union_graph,
+    from_edge_stream,
     gnp_random_graph,
     grid_graph,
     hypercube_graph,
@@ -48,6 +51,7 @@ __all__ = [
     "Scenario",
     "default_scenarios",
     "iter_scenarios",
+    "large_scenarios",
     "smoke_scenarios",
 ]
 
@@ -227,6 +231,36 @@ def _family_barbell(rng: random.Random, k: int, leaves: int) -> Graph:
     return barbell_of_stars(k, leaves)
 
 
+def _family_conflict(
+    rng: random.Random, half: int, d_base: int, d_overlay: int
+) -> Graph:
+    return conflict_union_graph(half, d_base, d_overlay, rng)
+
+
+def _family_social(
+    stream: Stream, n: int, exponent: float, max_degree: int
+) -> Graph:
+    """Power-law / social-network instances built straight onto CSR.
+
+    The only family whose builder receives a :class:`Stream` (see the
+    ``stream_native`` flag): degree draws and stub pairing come from
+    labelled child streams, and the edge stream feeds
+    :func:`from_edge_stream` without ever materializing an edge set —
+    which is what makes n = 10⁶ buildable in O(n + m) memory.
+    """
+    degrees = power_law_degree_sequence(
+        n, exponent, max_degree, stream.derive("degrees")
+    )
+    return from_edge_stream(
+        n, configuration_model_edge_stream(degrees, stream.derive("pairing"))
+    )
+
+
+#: Builders flagged ``stream_native`` receive the workload Stream itself
+#: instead of a derived ``random.Random`` (see ``runner._cached_workload``).
+_family_social.stream_native = True  # type: ignore[attr-defined]
+
+
 #: Graph families by name.  Each builder takes ``(rng, **params)``; the rng
 #: is seeded per scenario so workloads are reproducible in isolation.
 FAMILIES: dict[str, Callable[..., Graph]] = {
@@ -240,6 +274,8 @@ FAMILIES: dict[str, Callable[..., Graph]] = {
     "power_law": _family_power_law,
     "c4_gadgets": _family_c4_gadgets,
     "barbell": _family_barbell,
+    "conflict": _family_conflict,
+    "social": _family_social,
 }
 
 
@@ -256,6 +292,8 @@ _COST_HINTS: dict[str, Callable[[dict[str, Any]], float]] = {
     "power_law": lambda p: p["n"] * p["max_degree"],
     "c4_gadgets": lambda p: p["count"] * 8,
     "barbell": lambda p: p["k"] * (p["leaves"] + p["k"]),
+    "conflict": lambda p: 2 * p["half"] * (p["d_base"] + p["d_overlay"]),
+    "social": lambda p: p["n"] * p["max_degree"],
 }
 
 
@@ -361,12 +399,12 @@ PROTOCOLS: dict[str, ProtocolAdapter] = {
 
 
 def smoke_scenarios() -> list[Scenario]:
-    """A tiny grid covering every protocol, both backends, and the
+    """A tiny grid covering every protocol, every graph backend, and the
     partition extremes — the CI end-to-end check."""
     scenarios = []
     for protocol in ("vertex", "edge", "edge_zero_comm"):
         for partition in ("random", "all_alice", "degree_split"):
-            for backend in ("set", "bitset"):
+            for backend in ("set", "bitset", "csr"):
                 scenarios.append(
                     Scenario(
                         family="regular",
@@ -392,6 +430,15 @@ def smoke_scenarios() -> list[Scenario]:
             partition="crossing",
             protocol="edge",
             backend="bitset",
+        )
+    )
+    scenarios.append(
+        Scenario(
+            family="conflict",
+            params=_params(half=64, d_base=8, d_overlay=4),
+            partition="random",
+            protocol="edge",
+            backend="csr",
         )
     )
     return scenarios
@@ -433,9 +480,27 @@ def default_scenarios() -> list[Scenario]:
         ("c4_gadgets", _params(count=64)),
         ("bipartite_regular", _params(half=100, d=9)),
         ("gnp", _params(n=200, p=0.05)),
+        ("conflict", _params(half=64, d_base=8, d_overlay=4)),
     ]
     for family, params in structured:
         for protocol in ("vertex", "edge", "edge_zero_comm"):
+            scenarios.append(
+                Scenario(
+                    family=family,
+                    params=params,
+                    partition="random",
+                    protocol=protocol,
+                )
+            )
+    # Dense large-Δ palettes: 2Δ−1 beyond the rand-perm SMALL_THRESHOLD
+    # (96), so the Feistel cycle-walking permutation path runs end to end
+    # instead of only in unit tests.
+    dense = [
+        ("regular", _params(n=256, d=64)),
+        ("complete", _params(n=128)),
+    ]
+    for family, params in dense:
+        for protocol in ("edge", "edge_zero_comm"):
             scenarios.append(
                 Scenario(
                     family=family,
@@ -458,6 +523,37 @@ def default_scenarios() -> list[Scenario]:
     # The ladders and the ablation overlap at (n=256, d=8, random): dedupe
     # preserving order so the sweep never reruns a coordinate.
     return list(dict.fromkeys(scenarios))
+
+
+def large_scenarios() -> list[Scenario]:
+    """The million-vertex tier: CSR-only scale runs (``sweep --large``).
+
+    Power-law social instances at n ∈ {10⁵, 10⁶}, pinned to the csr
+    backend — the set and bitset backends cannot represent these sizes
+    in reasonable memory (bitset adjacency alone is O(n²) bits: ~1.25 GB
+    at 10⁵ and ~125 GB at 10⁶).  Kept out of :func:`default_scenarios`
+    so ordinary sweeps stay minutes-free.
+    """
+    scenarios = [
+        Scenario(
+            family="social",
+            params=_params(n=100_000, exponent=2.3, max_degree=64),
+            partition="random",
+            protocol=protocol,
+            backend="csr",
+        )
+        for protocol in ("edge", "edge_zero_comm")
+    ]
+    scenarios.append(
+        Scenario(
+            family="social",
+            params=_params(n=1_000_000, exponent=2.3, max_degree=64),
+            partition="random",
+            protocol="edge_zero_comm",
+            backend="csr",
+        )
+    )
+    return scenarios
 
 
 def iter_scenarios(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
 
+from .csr import CSRGraph
 from .graph import Edge, Graph
 
 __all__ = ["BitsetGraph", "GRAPH_BACKENDS", "as_backend", "iter_bits"]
@@ -44,6 +45,8 @@ class BitsetGraph(Graph):
         self.n = n
         self._bits: list[int] = [0] * n
         self._m = 0
+        self._degs: list[int] | None = None
+        self._maxdeg: int | None = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -60,6 +63,8 @@ class BitsetGraph(Graph):
         self._bits[u] |= 1 << v
         self._bits[v] |= 1 << u
         self._m += 1
+        self._degs = None
+        self._maxdeg = None
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -69,12 +74,16 @@ class BitsetGraph(Graph):
         self._bits[u] &= ~(1 << v)
         self._bits[v] &= ~(1 << u)
         self._m -= 1
+        self._degs = None
+        self._maxdeg = None
 
     def copy(self) -> "BitsetGraph":
         """An independent deep copy (a flat copy of the mask list)."""
         clone = BitsetGraph(self.n)
         clone._bits = list(self._bits)
         clone._m = self._m
+        clone._degs = list(self._degs) if self._degs is not None else None
+        clone._maxdeg = self._maxdeg
         return clone
 
     # -- queries ----------------------------------------------------------
@@ -96,14 +105,18 @@ class BitsetGraph(Graph):
         return self._bits[v].bit_count()
 
     def degrees(self) -> list[int]:
-        """Degree sequence indexed by vertex."""
-        return [bits.bit_count() for bits in self._bits]
+        """Degree sequence indexed by vertex (popcounts cached until mutated)."""
+        if self._degs is None:
+            self._degs = [bits.bit_count() for bits in self._bits]
+        return list(self._degs)
 
     def max_degree(self) -> int:
-        """Maximum degree Δ (0 for the empty graph)."""
-        if self.n == 0:
-            return 0
-        return max(bits.bit_count() for bits in self._bits)
+        """Maximum degree Δ (0 for the empty graph); cached until mutated."""
+        if self._maxdeg is None:
+            if self._degs is None:
+                self._degs = [bits.bit_count() for bits in self._bits]
+            self._maxdeg = max(self._degs, default=0)
+        return self._maxdeg
 
     def edges(self) -> Iterator[Edge]:
         """Iterate edges in sorted canonical order (see the base contract)."""
@@ -203,6 +216,7 @@ class BitsetGraph(Graph):
 GRAPH_BACKENDS: dict[str, type[Graph]] = {
     "set": Graph,
     "bitset": BitsetGraph,
+    "csr": CSRGraph,
 }
 
 

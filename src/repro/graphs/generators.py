@@ -6,15 +6,25 @@ constructions: unions of `C4` bit gadgets (Section 2.3 / FM25) and the
 star-pair instances underlying the ZEC game (Section 6.2).
 
 Randomized generators accept either a plain :class:`random.Random` or a
-:class:`repro.rand.Stream` (coerced via :func:`repro.rand.as_random`), so
-workloads can be rooted in the same key hierarchy as the protocol tapes.
+:class:`repro.rand.Stream`.  The random-graph families are built on
+*edge streams* (``*_edge_stream`` functions) that yield edges one at a
+time without materializing the pair universe, so large instances can be
+fed straight into :func:`repro.graphs.csr.from_edge_stream`.  A
+``random.Random`` source reproduces the historical draw sequence exactly
+(one coin per pair / one shuffle); a ``Stream`` source takes the
+geometric-skip path through :meth:`repro.rand.Stream.sample_indices`, so
+sparse instances cost O(p·m) draws instead of O(n²).
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import random
+from bisect import bisect_right
+from collections.abc import Iterator, Sequence
+from itertools import accumulate
+from math import isqrt
 
-from ..rand import RandomSource, as_random
+from ..rand import RandomSource, Stream, as_random
 from .graph import Edge, Graph, canonical_edge
 
 __all__ = [
@@ -23,11 +33,15 @@ __all__ = [
     "caterpillar_graph",
     "complete_bipartite",
     "complete_graph",
+    "configuration_model_edge_stream",
     "configuration_model_graph",
+    "conflict_union_graph",
     "cycle_graph",
     "disjoint_union",
+    "gnp_edge_stream",
     "gnp_random_graph",
     "gnp_with_max_degree",
+    "gnp_with_max_degree_edge_stream",
     "grid_graph",
     "hypercube_graph",
     "path_graph",
@@ -37,6 +51,22 @@ __all__ = [
     "star_graph",
     "zec_instance_graph",
 ]
+
+
+def _unrank_pair(n: int, k: int) -> Edge:
+    """The ``k``-th pair of the u-major upper-triangle order on ``C(n,2)``.
+
+    Inverts the enumeration ``(0,1), (0,2), …, (n-2,n-1)`` in O(1) by
+    counting pairs from the *end* (row ``u`` ends ``T(n-1-u)`` pairs
+    before the total, a triangular number, so ``isqrt`` recovers the
+    row).  This is what lets one flat ``sample_indices`` call drive the
+    whole G(n, p) sweep without enumerating pairs.
+    """
+    r = n * (n - 1) // 2 - 1 - k
+    j = (isqrt(8 * r + 1) - 1) // 2
+    u = n - 2 - j
+    s = r - j * (j + 1) // 2
+    return u, n - 1 - s
 
 
 def path_graph(n: int) -> Graph:
@@ -82,17 +112,81 @@ def grid_graph(rows: int, cols: int) -> Graph:
     return Graph(rows * cols, edges)
 
 
-def gnp_random_graph(n: int, p: float, rng: RandomSource) -> Graph:
-    """Erdős–Rényi ``G(n, p)``."""
+def gnp_edge_stream(n: int, p: float, rng: RandomSource) -> Iterator[Edge]:
+    """Stream the edges of ``G(n, p)`` in sorted canonical order.
+
+    A ``Stream`` source samples the pair set with one geometric-skip
+    sweep over the ``C(n,2)`` linear index (O(p·m) expected draws,
+    kernel-batched); a ``random.Random`` source draws one coin per pair
+    in the same u-major order, reproducing the historical tape exactly.
+    """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p must be a probability, got {p}")
-    rng = as_random(rng)
-    graph = Graph(n)
+    if isinstance(rng, Stream):
+        return _gnp_skip_sweep(n, p, rng)
+    return _gnp_coin_sweep(n, p, as_random(rng))
+
+
+def _gnp_skip_sweep(n: int, p: float, stream: Stream) -> Iterator[Edge]:
+    total = n * (n - 1) // 2
+    return (_unrank_pair(n, k) for k in stream.sample_indices(total, p))
+
+
+def _gnp_coin_sweep(n: int, p: float, rng: random.Random) -> Iterator[Edge]:
     for u in range(n):
         for v in range(u + 1, n):
             if rng.random() < p:
-                graph.add_edge(u, v)
-    return graph
+                yield (u, v)
+
+
+def gnp_random_graph(n: int, p: float, rng: RandomSource) -> Graph:
+    """Erdős–Rényi ``G(n, p)``."""
+    return Graph(n, gnp_edge_stream(n, p, rng))
+
+
+def gnp_with_max_degree_edge_stream(
+    n: int, p: float, max_degree: int, rng: RandomSource
+) -> Iterator[Edge]:
+    """Stream ``G(n, p)`` edges with a degree cap applied on the fly.
+
+    The ``random.Random`` path keeps the historical semantics and tape:
+    shuffle the full pair list, then one coin per pair with the cap
+    checked after each successful coin.  The ``Stream`` path never
+    materializes the pair universe — it geometric-skips the accepted
+    pairs and applies the cap in canonical order (a different but
+    equally valid member of the capped-G(n,p) family).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    if isinstance(rng, Stream):
+        return _gnp_capped_skip_sweep(n, p, max_degree, rng)
+    return _gnp_capped_coin_sweep(n, p, max_degree, as_random(rng))
+
+
+def _gnp_capped_skip_sweep(
+    n: int, p: float, max_degree: int, stream: Stream
+) -> Iterator[Edge]:
+    total = n * (n - 1) // 2
+    deg = [0] * n
+    for k in stream.sample_indices(total, p):
+        u, v = _unrank_pair(n, k)
+        if deg[u] < max_degree and deg[v] < max_degree:
+            deg[u] += 1
+            deg[v] += 1
+            yield (u, v)
+
+
+def _gnp_capped_coin_sweep(
+    n: int, p: float, max_degree: int, rng: random.Random
+) -> Iterator[Edge]:
+    order = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    rng.shuffle(order)
+    deg = [0] * n
+    for u, v in order:
+        if rng.random() < p and deg[u] < max_degree and deg[v] < max_degree:
+            deg[u] += 1
+            deg[v] += 1
+            yield (u, v)
 
 
 def gnp_with_max_degree(n: int, p: float, max_degree: int, rng: RandomSource) -> Graph:
@@ -101,14 +195,7 @@ def gnp_with_max_degree(n: int, p: float, max_degree: int, rng: RandomSource) ->
     Useful for sweeping ``n`` at a pinned ``Δ`` so round-complexity series
     isolate the ``log log n`` factor of Theorem 1.
     """
-    rng = as_random(rng)
-    graph = Graph(n)
-    order = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    rng.shuffle(order)
-    for u, v in order:
-        if rng.random() < p and graph.degree(u) < max_degree and graph.degree(v) < max_degree:
-            graph.add_edge(u, v)
-    return graph
+    return Graph(n, gnp_with_max_degree_edge_stream(n, p, max_degree, rng))
 
 
 def random_regular_graph(n: int, d: int, rng: RandomSource, max_tries: int = 200) -> Graph:
@@ -182,6 +269,25 @@ def random_bipartite_regular(half: int, d: int, rng: RandomSource) -> Graph:
     return Graph(2 * half, edges)
 
 
+def conflict_union_graph(
+    half: int, d_base: int, d_overlay: int, rng: RandomSource
+) -> Graph:
+    """The link-scheduling conflict fabric: two superposed regular layers.
+
+    A bipartite ``d_base``-regular base fabric unioned with an
+    independently drawn ``d_overlay``-regular overlay on the same parts —
+    the near-regular conflict graph of ``examples/link_scheduling.py``,
+    promoted to a generator so the scenario grid can sweep it.  Degrees
+    land in ``[max(d_base, d_overlay), d_base + d_overlay]`` (layers may
+    share edges), which is exactly the near-regular regime where the
+    paper's 2Δ−1 palette is tight.
+    """
+    rng = as_random(rng)
+    base = random_bipartite_regular(half, d_base, rng)
+    overlay = random_bipartite_regular(half, d_overlay, rng)
+    return base.union(overlay)
+
+
 def hypercube_graph(dimension: int) -> Graph:
     """The ``dimension``-cube: ``2^d`` vertices, regular of degree ``d``.
 
@@ -232,17 +338,57 @@ def power_law_degree_sequence(
         raise ValueError(f"exponent must be positive, got {exponent}")
     if max_degree < 1 or max_degree >= n:
         raise ValueError(f"max_degree must be in [1, n), got {max_degree}")
-    rng = as_random(rng)
     weights = [d ** (-exponent) for d in range(1, max_degree + 1)]
-    total = sum(weights)
-    degrees = [
-        rng.choices(range(1, max_degree + 1), weights=weights)[0]
-        for _ in range(n)
-    ]
-    del total
+    if isinstance(rng, Stream):
+        # Inverse-CDF draws on the stream directly (same scheme as
+        # random.choices: bisect over cumulative weights, index clamped).
+        cum = list(accumulate(weights))
+        total = cum[-1]
+        hi = max_degree - 1
+        degrees = [
+            1 + min(bisect_right(cum, rng.random() * total), hi)
+            for _ in range(n)
+        ]
+    else:
+        rng = as_random(rng)
+        degrees = [
+            rng.choices(range(1, max_degree + 1), weights=weights)[0]
+            for _ in range(n)
+        ]
     if sum(degrees) % 2:
         degrees[degrees.index(min(degrees))] += 1
     return degrees
+
+
+def configuration_model_edge_stream(
+    degrees: Sequence[int], rng: RandomSource
+) -> Iterator[Edge]:
+    """Stream the pairing-model edges for a target degree sequence.
+
+    One shuffle of the stub list, then consecutive stubs pair up;
+    self-pairs are dropped and duplicate pairs are emitted as-is (every
+    graph builder collapses them, matching the historical has_edge
+    rejection).  A ``Stream`` shuffles natively; a ``random.Random``
+    reproduces the historical tape.
+    """
+    n = len(degrees)
+    if any(d < 0 or d >= n for d in degrees):
+        raise ValueError("degrees must lie in [0, n)")
+    return _configuration_pairing(degrees, rng)
+
+
+def _configuration_pairing(
+    degrees: Sequence[int], rng: RandomSource
+) -> Iterator[Edge]:
+    stubs = [v for v, d in enumerate(degrees) for _ in range(d)]
+    if isinstance(rng, Stream):
+        stubs = rng.shuffled(stubs)
+    else:
+        as_random(rng).shuffle(stubs)
+    paired = iter(stubs)
+    for u, v in zip(paired, paired):
+        if u != v:
+            yield (u, v)
 
 
 def configuration_model_graph(degrees: list[int], rng: RandomSource) -> Graph:
@@ -252,18 +398,7 @@ def configuration_model_graph(degrees: list[int], rng: RandomSource) -> Graph:
     dropped, so realized degrees are ≤ targets — adequate for workload
     generation; exact realization is not needed by any experiment).
     """
-    n = len(degrees)
-    if any(d < 0 or d >= n for d in degrees):
-        raise ValueError("degrees must lie in [0, n)")
-    rng = as_random(rng)
-    stubs = [v for v, d in enumerate(degrees) for _ in range(d)]
-    rng.shuffle(stubs)
-    graph = Graph(n)
-    paired = iter(stubs)
-    for u, v in zip(paired, paired):
-        if u != v and not graph.has_edge(u, v):
-            graph.add_edge(u, v)
-    return graph
+    return Graph(len(degrees), configuration_model_edge_stream(degrees, rng))
 
 
 def disjoint_union(graphs: list[Graph]) -> Graph:

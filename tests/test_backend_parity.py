@@ -1,9 +1,10 @@
-"""Backend parity: protocols produce identical results on both backends.
+"""Backend parity: protocols produce identical results on every backend.
 
-The bitset backend is only admissible if it is *observationally
-equivalent*: same colorings, same transcripts (bits and rounds), on the
-same instances, under the same seeds.  These tests run the full protocol
-stack on converted copies of one instance and compare everything.
+An alternative graph backend (bitset, csr) is only admissible if it is
+*observationally equivalent* to the reference dict-of-sets graph: same
+colorings, same transcripts (bits and rounds), on the same instances,
+under the same seeds.  These tests run the full protocol stack on
+converted copies of one instance and compare everything.
 """
 
 from __future__ import annotations
@@ -34,9 +35,13 @@ from repro.graphs import (
 )
 
 
-def _pair(graph, rng):
+#: Every non-reference backend must match the reference "set" graph.
+ALT_BACKENDS = ("bitset", "csr")
+
+
+def _pair(graph, rng, backend):
     part = partition_random(graph, rng)
-    return part, part.astype("bitset")
+    return part, part.astype(backend)
 
 
 WORKLOADS = [
@@ -47,10 +52,11 @@ WORKLOADS = [
 ]
 
 
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("name,builder", WORKLOADS)
-def test_vertex_coloring_parity(name, builder):
+def test_vertex_coloring_parity(name, builder, backend):
     rng = random.Random(11)
-    part, bpart = _pair(builder(rng), rng)
+    part, bpart = _pair(builder(rng), rng, backend)
     a = run_vertex_coloring(part, seed=3)
     b = run_vertex_coloring(bpart, seed=3)
     assert a.colors == b.colors
@@ -59,10 +65,11 @@ def test_vertex_coloring_parity(name, builder):
     assert a.leftover_size == b.leftover_size
 
 
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("name,builder", WORKLOADS)
-def test_edge_coloring_parity(name, builder):
+def test_edge_coloring_parity(name, builder, backend):
     rng = random.Random(22)
-    part, bpart = _pair(builder(rng), rng)
+    part, bpart = _pair(builder(rng), rng, backend)
     a = run_edge_coloring(part)
     b = run_edge_coloring(bpart)
     assert a.colors == b.colors
@@ -70,43 +77,46 @@ def test_edge_coloring_parity(name, builder):
     assert a.rounds == b.rounds
 
 
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("name,builder", WORKLOADS)
-def test_zero_comm_parity(name, builder):
+def test_zero_comm_parity(name, builder, backend):
     rng = random.Random(33)
-    part, bpart = _pair(builder(rng), rng)
+    part, bpart = _pair(builder(rng), rng, backend)
     a = run_zero_comm_edge_coloring(part)
     b = run_zero_comm_edge_coloring(bpart)
     assert a.colors == b.colors
     assert a.total_bits == 0 and b.total_bits == 0
 
 
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("scheme", sorted(PARTITIONERS))
-def test_partitioner_parity(scheme):
-    """Partitioners must produce the same edge split on both backends.
+def test_partitioner_parity(scheme, backend):
+    """Partitioners must produce the same edge split on every backend.
 
     This pins the sorted-``edges()`` contract: partition_random draws one
     public coin per edge in iteration order.
     """
     graph = random_regular_graph(40, 6, random.Random(7))
-    bitset_graph = as_backend(graph, "bitset")
+    alt_graph = as_backend(graph, backend)
     a = PARTITIONERS[scheme](graph, random.Random(99))
-    b = PARTITIONERS[scheme](bitset_graph, random.Random(99))
+    b = PARTITIONERS[scheme](alt_graph, random.Random(99))
     assert set(a.alice_edges) == set(b.alice_edges)
 
 
-def test_local_coloring_algorithms_parity():
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_local_coloring_algorithms_parity(backend):
     rng = random.Random(44)
     graph = gnp_random_graph(40, 0.2, rng)
-    bitset_graph = as_backend(graph, "bitset")
+    alt_graph = as_backend(graph, backend)
 
-    assert greedy_vertex_coloring(graph) == greedy_vertex_coloring(bitset_graph)
-    assert greedy_edge_coloring(graph) == greedy_edge_coloring(bitset_graph)
-    assert vizing_edge_coloring(graph) == vizing_edge_coloring(bitset_graph)
+    assert greedy_vertex_coloring(graph) == greedy_vertex_coloring(alt_graph)
+    assert greedy_edge_coloring(graph) == greedy_edge_coloring(alt_graph)
+    assert vizing_edge_coloring(graph) == vizing_edge_coloring(alt_graph)
 
     # Fournier needs independent max-degree vertices.
     from .conftest import make_fournier_instance
 
     instance = make_fournier_instance(30, 0.25, random.Random(55))
     assert fournier_edge_coloring(instance) == fournier_edge_coloring(
-        as_backend(instance, "bitset")
+        as_backend(instance, backend)
     )

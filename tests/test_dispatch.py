@@ -487,10 +487,10 @@ def test_coordinator_rejects_degenerate_configs(tmp_path):
 
 
 def test_coordinator_default_shard_count_overshards(tmp_path):
-    grid = _selected_grid()  # 6 scenarios
+    grid = _selected_grid()  # 9 scenarios (3 partitions x 3 backends)
     coordinator = Coordinator(
         grid, _SELECTION, tmp_path / "w", tmp_path / "o",
         LocalExecutor(), DispatchConfig(workers=2),
     )
     # M = min(4 x workers, grid size): M >> workers up to the grid size.
-    assert coordinator.shard_count == 6
+    assert coordinator.shard_count == 8

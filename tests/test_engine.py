@@ -128,10 +128,17 @@ def test_every_protocol_runs_one_tiny_scenario():
 
 
 def test_backend_rows_agree_in_sweep():
-    scenarios = [_tiny("vertex", backend=b) for b in ("set", "bitset")]
-    set_row, bitset_row = sweep(scenarios, jobs=1)
-    assert set_row["total_bits"] == bitset_row["total_bits"]
-    assert set_row["rounds"] == bitset_row["rounds"]
+    scenarios = [_tiny("vertex", backend=b) for b in ("set", "bitset", "csr")]
+    set_row, bitset_row, csr_row = sweep(scenarios, jobs=1)
+    for row in (bitset_row, csr_row):
+        assert set_row["total_bits"] == row["total_bits"]
+        assert set_row["rounds"] == row["rounds"]
+        # Everything but the coordinate label must agree key-for-key, so
+        # sweep.json records differ only in the backend column.
+        strip = lambda r: {
+            k: v for k, v in r.items() if k not in ("scenario", "backend")
+        }
+        assert strip(set_row) == strip(row)
 
 
 def test_sweep_parallel_matches_serial():
@@ -148,7 +155,7 @@ def test_iter_scenarios_filter_and_backend():
     only_edge = list(iter_scenarios(grid, pattern="edge/"))
     assert only_edge and all("edge/" in s.name for s in only_edge)
     both = list(iter_scenarios([_tiny("vertex")], backend="both"))
-    assert {s.backend for s in both} == {"set", "bitset"}
+    assert {s.backend for s in both} == {"set", "bitset", "csr"}
     pinned = list(iter_scenarios(grid, backend="bitset"))
     assert all(s.backend == "bitset" for s in pinned)
 
@@ -178,6 +185,18 @@ def test_backend_comparison_rows():
     kernels = {r["kernel"] for r in rows}
     assert "graph.copy" in kernels
     assert all(r["set_s"] > 0 and r["bitset_s"] > 0 for r in rows)
+
+
+def test_graphs_comparison_rows():
+    from repro.engine import graphs_comparison
+
+    rows = graphs_comparison(n=400, degree=8, seed=1, repeat=1)
+    assert [r["backend"] for r in rows] == ["set", "bitset", "csr"]
+    assert len({r["m"] for r in rows}) == 1  # identical shared edge list
+    csr = rows[-1]
+    assert csr["probe_speedup_vs_bitset"] > 0
+    assert csr["mem_ratio_vs_bitset"] > 1  # CSR beats dense masks already at n=400
+    assert all(r["build_s"] > 0 and r["probe_s"] > 0 for r in rows)
 
 
 def test_cli_list_and_sweep(tmp_path, capsys):
@@ -248,8 +267,42 @@ def test_cli_bench_rand_and_profile(tmp_path, capsys):
     assert "cProfile hotspots" in capsys.readouterr().out
 
 
+def test_cli_bench_graphs(tmp_path, capsys):
+    out_json = tmp_path / "graphs.json"
+    assert main(
+        ["bench", "--graphs", "--n", "400", "--degree", "8", "--repeat", "1",
+         "--json", str(out_json), "--min-csr-speedup", "0.01"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "graph representation comparison" in out
+    assert "csr guard" in out
+    document = json.loads(out_json.read_text())
+    assert document["bench"] == "graphs_comparison"
+    assert {r["backend"] for r in document["rows"]} == {"set", "bitset", "csr"}
+
+
+def test_cli_bench_graphs_guard_flag_needs_graphs(capsys):
+    assert main(["bench", "--min-csr-speedup", "3.0"]) == 2
+    assert "--min-csr-speedup only applies to --graphs" in capsys.readouterr().err
+
+
+def test_cli_list_large_grid(capsys):
+    assert main(["list-scenarios", "--large"]) == 0
+    out = capsys.readouterr().out
+    assert "social(exponent=2.3,max_degree=64,n=1000000)" in out
+    assert all(line.endswith("/csr") for line in out.strip().splitlines())
+
+
+def test_cli_smoke_and_large_are_exclusive(capsys):
+    with pytest.raises(SystemExit):
+        main(["list-scenarios", "--smoke", "--large"])
+    assert "not allowed with" in capsys.readouterr().err
+
+
 def test_cli_bench_mode_flags_are_exclusive(capsys):
     assert main(["bench", "--rand", "--profile"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+    assert main(["bench", "--graphs", "--rand"]) == 2
     assert "mutually exclusive" in capsys.readouterr().err
 
 
@@ -258,6 +311,8 @@ def test_cli_bench_rand_and_profile_reject_transport(capsys):
     assert "--transport conflicts with --rand" in capsys.readouterr().err
     assert main(["bench", "--profile", "--transport", "strict"]) == 2
     assert "--transport conflicts with --profile" in capsys.readouterr().err
+    assert main(["bench", "--graphs", "--transport", "count"]) == 2
+    assert "--transport conflicts with --graphs" in capsys.readouterr().err
 
 
 def test_cli_bench_profile_rejects_infeasible_workload(capsys):

@@ -153,3 +153,31 @@ def test_randomized_operation_mirror():
             assert b.neighbors_in(v, b.pack_vertices(sample)) == g.neighbors_in(
                 v, g.pack_vertices(sample)
             )
+
+
+def test_degree_caches_invalidate_on_mutation():
+    """degrees()/max_degree() memoize popcounts; mutation must drop them.
+
+    Regression test: the caches were added because every max_degree()
+    call repopcounted all n masks; a stale cache after add/remove_edge
+    would silently corrupt Δ-dependent palette sizes.
+    """
+    g = BitsetGraph(5, [(0, 1), (1, 2)])
+    assert g.degrees() == [1, 2, 1, 0, 0]
+    assert g.max_degree() == 2
+    g.add_edge(1, 3)
+    g.add_edge(1, 4)
+    assert g.degrees() == [1, 4, 1, 1, 1]
+    assert g.max_degree() == 4
+    g.remove_edge(1, 2)
+    assert g.degrees() == [1, 3, 0, 1, 1]
+    assert g.max_degree() == 3
+    # The returned list is a defensive copy, not the cache itself.
+    leaked = g.degrees()
+    leaked[0] = 99
+    assert g.degrees()[0] == 1
+    # A copy carries the caches but invalidates independently.
+    c = g.copy()
+    c.add_edge(2, 3)
+    assert c.max_degree() == 3 and c.degree(2) == 1
+    assert g.max_degree() == 3 and g.degree(2) == 0
